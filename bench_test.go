@@ -1,0 +1,937 @@
+// Package wbsn_test hosts the experiment benchmarks: one per table or
+// figure of the paper's evaluation (Section V) plus ablations of the
+// design choices called out in DESIGN.md. The benchmarks regenerate the
+// paper's rows/series and publish the headline values as custom metrics
+// (b.ReportMetric), so `go test -bench=. -benchmem` reproduces the whole
+// evaluation.
+package wbsn_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"wbsn/internal/af"
+	"wbsn/internal/classify"
+	"wbsn/internal/core"
+	"wbsn/internal/cs"
+	"wbsn/internal/delineation"
+	"wbsn/internal/dsp"
+	"wbsn/internal/ecg"
+	"wbsn/internal/energy"
+	"wbsn/internal/fixedpt"
+	"wbsn/internal/gateway"
+	"wbsn/internal/morpho"
+	"wbsn/internal/spline"
+	"wbsn/internal/wavelet"
+	"wbsn/internal/wbsn"
+)
+
+// ---------------------------------------------------------------------
+// Figure 5 — averaged output SNR vs compression ratio, single-lead vs
+// multi-lead CS. Reports the 20 dB crossings (paper: 65.9 / 72.7).
+// ---------------------------------------------------------------------
+
+func BenchmarkFig5SNRvsCR(b *testing.B) {
+	records := ecg.GenerateSet(ecg.Config{Duration: 15}, 42, 2)
+	cfg := cs.SweepConfig{
+		MaxWindowsPerRecord: 2,
+		Seed:                42,
+		Solver:              cs.SolverConfig{Iters: 120, Reweights: 2},
+	}
+	crs := []float64{50, 60, 66, 72, 78, 86}
+	var slCross, mlCross float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := cs.Sweep(records, crs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slCross = cs.CrossingCR(pts, dsp.GoodReconstructionSNR, false)
+		mlCross = cs.CrossingCR(pts, dsp.GoodReconstructionSNR, true)
+	}
+	b.ReportMetric(slCross, "CR@20dB-single")
+	b.ReportMetric(mlCross, "CR@20dB-multi")
+	if !math.IsNaN(slCross) && !math.IsNaN(mlCross) && mlCross <= slCross {
+		b.Errorf("multi-lead crossing %.1f should exceed single-lead %.1f", mlCross, slCross)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 — node energy breakdown (Radio / Sampling / Comp.) and total
+// power reduction of CS vs raw streaming (paper: 44.7% / 56.1%).
+// ---------------------------------------------------------------------
+
+func BenchmarkFig6EnergyBreakdown(b *testing.B) {
+	node := energy.DefaultNode()
+	w := energy.WindowSpec{SamplesPerLead: 512, Leads: 3, BitsPerSample: 12}
+	var redSL, redML float64
+	for i := 0; i < b.N; i++ {
+		raw := node.RawStreamingWindow(w)
+		sl := node.CSWindow("SL", w, cs.MeasurementsForCR(512, 65.9), 4*512)
+		ml := node.CSWindow("ML", w, cs.MeasurementsForCR(512, 72.7), 4*512)
+		redSL = energy.PowerReduction(raw, sl)
+		redML = energy.PowerReduction(raw, ml)
+	}
+	b.ReportMetric(100*redSL, "%reduction-single")
+	b.ReportMetric(100*redML, "%reduction-multi")
+	if redML <= redSL {
+		b.Error("multi-lead CS must reduce more energy than single-lead")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 — average power of the synchronized multi-core platform vs a
+// single-core equivalent for 3L-MF, 3L-MMD, RP-CLASS (paper: up to 40%
+// reduction).
+// ---------------------------------------------------------------------
+
+func BenchmarkFig7MulticorePower(b *testing.B) {
+	var results []wbsn.AppResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = wbsn.RunFigure7(wbsn.DefaultEnergy(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		b.ReportMetric(100*r.Reduction, "%red-"+r.App)
+		if r.Reduction <= 0 {
+			b.Errorf("%s: multi-core did not save power", r.App)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Text-1 — wavelet delineation accuracy (paper: Se/Sp > 90% for all
+// fiducials) and the embedded duty cycle (paper: 7%).
+// ---------------------------------------------------------------------
+
+func BenchmarkText1Delineation(b *testing.B) {
+	recs := ecg.GenerateSet(ecg.Config{Duration: 30, Noise: ecg.AmbulatoryNoise()}, 600, 3)
+	del, err := delineation.NewWaveletDelineator(delineation.Config{Fs: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total delineation.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total = delineation.Report{}
+		for _, rec := range recs {
+			filtered, err := morpho.FilterLeads(rec.Leads, morpho.FilterConfig{Fs: 256})
+			if err != nil {
+				b.Fatal(err)
+			}
+			beats, err := del.Delineate(dsp.CombineRMS(filtered))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = delineation.Merge(total, delineation.Evaluate(rec, beats, delineation.DefaultTolerances()))
+		}
+	}
+	b.ReportMetric(100*total.R.Se(), "%Se-R")
+	b.ReportMetric(100*total.PPeak.Se(), "%Se-Ppeak")
+	b.ReportMetric(100*total.TPeak.Se(), "%Se-Tpeak")
+	b.ReportMetric(100*total.R.PPV(), "%PPV-R")
+	if !total.AllAbove(0.90) {
+		b.Errorf("delineation below the 90%% target:\n%s", total.String())
+	}
+	// Embedded duty cycle at the nominal few-MHz clock.
+	res, err := wbsn.RunApp(wbsn.App3LMMD(), wbsn.DefaultEnergy(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	duty := wbsn.DutyCycleAt(res.SCStats.Cycles, 2e6, 1.0)
+	b.ReportMetric(100*duty, "%duty-cycle")
+}
+
+// ---------------------------------------------------------------------
+// Text-2 — AF detection sensitivity/specificity (paper: 96% / 93%).
+// ---------------------------------------------------------------------
+
+func BenchmarkText2AF(b *testing.B) {
+	node, err := core.NewNode(core.Config{Mode: core.ModeAFAlarm})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-generate the record set (generation excluded from timing).
+	type labelled struct {
+		rec *ecg.Record
+		af  bool
+	}
+	var set []labelled
+	for i := int64(0); i < 6; i++ {
+		cfgN := ecg.Config{Seed: i, Duration: 60, Noise: ecg.NoiseConfig{EMG: 0.02}}
+		if i%3 == 0 {
+			cfgN.Rhythm.PVCRate = 0.08
+		}
+		set = append(set, labelled{ecg.Generate(cfgN), false})
+		set = append(set, labelled{ecg.Generate(ecg.Config{
+			Seed: 1000 + i, Duration: 60,
+			Rhythm: ecg.RhythmConfig{Kind: ecg.RhythmAF},
+			Noise:  ecg.NoiseConfig{EMG: 0.02},
+		}), true})
+	}
+	var se, sp float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var tp, fn, fp, tn int
+		for _, s := range set {
+			res, err := node.Process(s.rec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch {
+			case s.af && res.AFAlarm:
+				tp++
+			case s.af && !res.AFAlarm:
+				fn++
+			case !s.af && res.AFAlarm:
+				fp++
+			default:
+				tn++
+			}
+		}
+		se = float64(tp) / float64(tp+fn)
+		sp = float64(tn) / float64(tn+fp)
+	}
+	b.ReportMetric(100*se, "%sensitivity")
+	b.ReportMetric(100*sp, "%specificity")
+	if se < 0.9 || sp < 0.9 {
+		b.Errorf("AF detection Se=%.2f Sp=%.2f below plausibility floor", se, sp)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 — the abstraction ladder: transmitted bandwidth per level.
+// ---------------------------------------------------------------------
+
+func BenchmarkFig1Ladder(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 7, Duration: 30, Rhythm: ecg.RhythmConfig{PVCRate: 0.05}})
+	var rungs []core.LadderRung
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rungs, err = core.Ladder(rec, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rungs {
+		b.ReportMetric(r.TxBytesPerSecond, "B/s-"+r.Mode.String())
+	}
+	for i := 1; i < len(rungs); i++ {
+		if rungs[i].TxBytesPerSecond >= rungs[i-1].TxBytesPerSecond {
+			b.Error("bandwidth ladder not monotone")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations.
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationPhiDensity sweeps the sparse-binary sensing density d
+// (ref [16]: few non-zeros suffice): reconstruction quality at CR 60 for
+// d = 2, 4, 8 against a dense Gaussian matrix.
+func BenchmarkAblationPhiDensity(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 77, Duration: 5})
+	x := rec.Clean[0][:512]
+	m := cs.MeasurementsForCR(512, 60)
+	run := func(phi cs.Matrix) float64 {
+		enc := cs.NewEncoder(phi)
+		dec, err := cs.NewDecoder(phi, cs.SolverConfig{Iters: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		xhat, err := dec.Reconstruct(enc.Encode(x))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return dsp.SNRdB(x, xhat)
+	}
+	var snrs [4]float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(5))
+		for j, d := range []int{2, 4, 8} {
+			phi, err := cs.NewSparseBinary(m, 512, d, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			snrs[j] = run(phi)
+		}
+		g, err := cs.NewGaussian(m, 512, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snrs[3] = run(g)
+	}
+	b.ReportMetric(snrs[0], "SNR-d2")
+	b.ReportMetric(snrs[1], "SNR-d4")
+	b.ReportMetric(snrs[2], "SNR-d8")
+	b.ReportMetric(snrs[3], "SNR-gauss")
+	// The ref [16] claim: d=4 within a few dB of the dense matrix.
+	if snrs[1] < snrs[3]-6 {
+		b.Errorf("sparse d=4 (%.1f dB) far below dense Gaussian (%.1f dB)", snrs[1], snrs[3])
+	}
+}
+
+// BenchmarkAblationVanHerk compares the O(1)-per-sample sliding-window
+// erosion against the naive O(k) implementation (Section IV.A).
+func BenchmarkAblationVanHerk(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	k := 51 // the 0.2 s baseline SE at 256 Hz
+	b.Run("vanherk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := morpho.ErodeFlat(x, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := morpho.ErodeFlatNaive(x, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLinGauss compares the four-segment linearized
+// exponential against math.Exp (ref [14]) in speed and worst-case error.
+func BenchmarkAblationLinGauss(b *testing.B) {
+	b.ReportMetric(fixedpt.ExpNegLin4MaxError(4001, math.Exp), "max-abs-error")
+	us := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(4))
+	for i := range us {
+		us[i] = rng.Float64() * 4
+	}
+	b.Run("lin4", func(b *testing.B) {
+		s := 0.0
+		for i := 0; i < b.N; i++ {
+			s += fixedpt.ExpNegLin4(us[i%len(us)])
+		}
+		_ = s
+	})
+	b.Run("exact", func(b *testing.B) {
+		s := 0.0
+		for i := 0; i < b.N; i++ {
+			s += math.Exp(-us[i%len(us)])
+		}
+		_ = s
+	})
+}
+
+// BenchmarkAblationRPPacking reports the memory of the 2-bit packed
+// random-projection matrix against float64 storage (Section IV.A) and
+// times the projection.
+func BenchmarkAblationRPPacking(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	w := classify.DefaultBeatWindow(256)
+	rp, err := classify.NewRPMatrix(16, w.Len(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(rp.MemoryBytes()), "bytes-packed")
+	b.ReportMetric(float64(16*w.Len()*8), "bytes-float64")
+	x := make([]float64, w.Len())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rp.Project(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBroadcast quantifies the broadcast interconnect of
+// ref [18]: cycles and program-memory accesses with merging on vs off.
+func BenchmarkAblationBroadcast(b *testing.B) {
+	app := wbsn.App3LMF()
+	mcProg, _, err := app.Programs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs := []*wbsn.Program{mcProg, mcProg, mcProg}
+	var on, off wbsn.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mOn, err := wbsn.NewMachine(wbsn.MachineConfig{
+			Cores: 3, IMemBanks: 2, DMemBanks: 3, Broadcast: true, Seed: 1,
+		}, progs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		on = mOn.Run(50e6)
+		mOff, err := wbsn.NewMachine(wbsn.MachineConfig{
+			Cores: 3, IMemBanks: 2, DMemBanks: 3, Broadcast: false, Seed: 1,
+		}, progs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		off = mOff.Run(50e6)
+	}
+	b.ReportMetric(float64(on.FetchAccesses), "imem-accesses-on")
+	b.ReportMetric(float64(off.FetchAccesses), "imem-accesses-off")
+	b.ReportMetric(float64(off.Cycles)/float64(on.Cycles), "cycle-penalty-off")
+	if off.Cycles <= on.Cycles {
+		b.Error("disabling broadcast should cost cycles")
+	}
+}
+
+// BenchmarkAblationLeadCombine compares single-lead delineation with
+// RMS-combined multi-lead delineation under EMG noise (ref [11]).
+func BenchmarkAblationLeadCombine(b *testing.B) {
+	recs := ecg.GenerateSet(ecg.Config{Duration: 30, Noise: ecg.NoiseConfig{EMG: 0.12}}, 900, 3)
+	del, err := delineation.NewWaveletDelineator(delineation.Config{Fs: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seSingle, seComb float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var single, comb delineation.Report
+		for _, rec := range recs {
+			bs, err := del.Delineate(rec.Leads[2])
+			if err != nil {
+				b.Fatal(err)
+			}
+			bc, err := del.Delineate(dsp.CombineRMS(rec.Leads))
+			if err != nil {
+				b.Fatal(err)
+			}
+			single = delineation.Merge(single, delineation.Evaluate(rec, bs, delineation.DefaultTolerances()))
+			comb = delineation.Merge(comb, delineation.Evaluate(rec, bc, delineation.DefaultTolerances()))
+		}
+		seSingle = single.R.Se()
+		seComb = comb.R.Se()
+	}
+	b.ReportMetric(100*seSingle, "%Se-single-lead")
+	b.ReportMetric(100*seComb, "%Se-rms-combined")
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks of the embedded kernels.
+// ---------------------------------------------------------------------
+
+func BenchmarkCSEncodeQ15(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	phi, err := cs.NewSparseBinary(175, 512, 4, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := cs.NewEncoder(phi)
+	x := make([]fixedpt.Q15, 512)
+	for i := range x {
+		x[i] = fixedpt.FromFloat(rng.Float64()*0.5 - 0.25)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.EncodeQ15(x)
+	}
+}
+
+func BenchmarkFISTAReconstruct(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	rec := ecg.Generate(ecg.Config{Seed: 9, Duration: 5})
+	x := rec.Clean[0][:512]
+	m := cs.MeasurementsForCR(512, 65.9)
+	phi, err := cs.NewSparseBinary(m, 512, 4, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := cs.NewEncoder(phi)
+	dec, err := cs.NewDecoder(phi, cs.SolverConfig{Iters: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := enc.Encode(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Reconstruct(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWaveletDWT(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	x := make([]float64, 512)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	w := wavelet.Daubechies8()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Forward(x, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAtrousTransform(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 11, Duration: 4})
+	x := rec.Clean[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wavelet.Atrous(x, wavelet.AtrousScales); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDelineateOneSecond(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 12, Duration: 60})
+	combined := dsp.CombineRMS(rec.Clean)
+	del, err := delineation.NewWaveletDelineator(delineation.Config{Fs: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := del.Delineate(combined); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Normalise to per-second-of-signal cost.
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/60, "ns/signal-s")
+}
+
+func BenchmarkAFDetect(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 13, Duration: 120, Rhythm: ecg.RhythmConfig{Kind: ecg.RhythmAF}})
+	del, _ := delineation.NewWaveletDelineator(delineation.Config{Fs: 256})
+	beats, err := del.Delineate(dsp.CombineRMS(rec.Clean))
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := af.NewDetector(af.Config{Fs: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(beats)
+	}
+}
+
+func BenchmarkMorphFilterOneLead(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 14, Duration: 10, Noise: ecg.AmbulatoryNoise()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := morpho.Filter(rec.Leads[0], morpho.FilterConfig{Fs: 256}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulticoreSimCycle(b *testing.B) {
+	app := wbsn.App3LMMD()
+	mcProg, _, err := app.Programs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs := []*wbsn.Program{mcProg, mcProg, mcProg}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := wbsn.NewMachine(wbsn.MachineConfig{
+			Cores: 3, IMemBanks: 2, DMemBanks: 3, Broadcast: true, Seed: 1,
+		}, progs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(50e6)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Extended ablations: solver variants, quantisation, QRS baselines, and
+// the end-to-end gateway loop.
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationSolverVariants compares the reconstruction quality of
+// plain FISTA, reweighted FISTA, tree-model IHT (ref [17]) and the OMP
+// baseline at the paper's single-lead operating point.
+func BenchmarkAblationSolverVariants(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 88, Duration: 5})
+	x := rec.Clean[0][:512]
+	m := cs.MeasurementsForCR(512, 65.9)
+	rng := rand.New(rand.NewSource(12))
+	phi, err := cs.NewSparseBinary(m, 512, 4, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := cs.NewEncoder(phi)
+	y := enc.Encode(x)
+	var snrs [4]float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plain, err := cs.NewDecoder(phi, cs.SolverConfig{Iters: 150})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rw, err := cs.NewDecoder(phi, cs.SolverConfig{Iters: 150, Reweights: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		x0, err := plain.Reconstruct(y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x1, err := rw.Reconstruct(y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x2, err := rw.TreeIHT(y, 80, 150)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x3, err := rw.OMP(y, 80, 1e-5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snrs[0] = dsp.SNRdB(x, x0)
+		snrs[1] = dsp.SNRdB(x, x1)
+		snrs[2] = dsp.SNRdB(x, x2)
+		snrs[3] = dsp.SNRdB(x, x3)
+	}
+	b.ReportMetric(snrs[0], "SNR-fista")
+	b.ReportMetric(snrs[1], "SNR-reweighted")
+	b.ReportMetric(snrs[2], "SNR-treeIHT")
+	b.ReportMetric(snrs[3], "SNR-omp")
+}
+
+// BenchmarkAblationQuantBits sweeps the bits-per-measurement payload
+// quantisation (the Figure 6 payload knob).
+func BenchmarkAblationQuantBits(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 89, Duration: 5})
+	x := rec.Clean[0][:512]
+	m := cs.MeasurementsForCR(512, 60)
+	rng := rand.New(rand.NewSource(13))
+	phi, err := cs.NewSparseBinary(m, 512, 4, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := cs.NewEncoder(phi)
+	dec, err := cs.NewDecoder(phi, cs.SolverConfig{Iters: 120})
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := enc.Encode(x)
+	scale := cs.AutoScale(y, 1.1)
+	results := map[int]float64{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bits := range []int{4, 8, 12} {
+			q, err := cs.NewQuantizer(bits, scale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			yq, _ := q.QuantizeSlice(y)
+			xhat, err := dec.Reconstruct(yq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[bits] = dsp.SNRdB(x, xhat)
+		}
+	}
+	b.ReportMetric(results[4], "SNR-4bit")
+	b.ReportMetric(results[8], "SNR-8bit")
+	b.ReportMetric(results[12], "SNR-12bit")
+}
+
+// BenchmarkAblationQRSBaseline compares the wavelet QRS stage against
+// the Pan-Tompkins baseline (the ref [11] comparative evaluation).
+func BenchmarkAblationQRSBaseline(b *testing.B) {
+	recs := ecg.GenerateSet(ecg.Config{Duration: 30, Noise: ecg.NoiseConfig{EMG: 0.04}}, 700, 3)
+	wd, err := delineation.NewWaveletDelineator(delineation.Config{Fs: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := delineation.NewPanTompkins(delineation.Config{Fs: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("wavelet", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, rec := range recs {
+				if _, err := wd.Delineate(dsp.CombineRMS(rec.Leads)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("pantompkins", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, rec := range recs {
+				pt.DetectQRS(dsp.CombineRMS(rec.Leads))
+			}
+		}
+	})
+}
+
+// BenchmarkGatewayEndToEnd times the full compress → transmit →
+// reconstruct loop for one 2-second 3-lead window (the receiver budget
+// that ref [5]'s real-time iPhone decoder must meet).
+func BenchmarkGatewayEndToEnd(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 90, Duration: 4})
+	node, err := core.NewNode(core.Config{Mode: core.ModeCS, CSRatio: 60, Seed: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream, err := node.NewStream()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rx, err := gateway.NewReceiver(gateway.MatchNode(node.Config()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		chunk := make([][]float64, len(rec.Leads))
+		for li := range chunk {
+			chunk[li] = rec.Clean[li]
+		}
+		events, err := stream.PushBlock(chunk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rx.ConsumeEvents(events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBaselineRemoval compares the paper's two baseline-
+// wander estimators (Section III.B: morphological open/close of ref [9]
+// and PR-knot cubic splines of ref [10]) against a sliding-median
+// estimator and a 0.5 Hz high-pass, scoring the residual against the
+// known synthetic drift.
+func BenchmarkAblationBaselineRemoval(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{
+		Seed: 91, Duration: 30,
+		Noise: ecg.NoiseConfig{BaselineWander: 0.3},
+	})
+	fs := rec.Fs
+	lead := rec.Leads[0]
+	clean := rec.Clean[0]
+	truthDrift := make([]float64, len(lead))
+	for i := range truthDrift {
+		truthDrift[i] = lead[i] - clean[i]
+	}
+	qrs := rec.RPeaks()
+	score := func(corrected []float64) float64 {
+		// Residual drift: corrected minus clean, RMS over the interior.
+		res := 0.0
+		n := 0
+		for i := 512; i < len(lead)-512; i++ {
+			d := corrected[i] - clean[i]
+			res += d * d
+			n++
+		}
+		return math.Sqrt(res / float64(n))
+	}
+	var rmsMorph, rmsSpline, rmsMedian, rmsHP float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		corrected, err := morpho.RemoveBaseline(lead, morpho.FilterConfig{Fs: fs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rmsMorph = score(corrected)
+		corrSpline, _ := spline.RemoveBaseline(lead, qrs, fs)
+		rmsSpline = score(corrSpline)
+		base, err := dsp.MedianFilter(lead, int(0.6*fs)|1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		corrMed := make([]float64, len(lead))
+		for j := range lead {
+			corrMed[j] = lead[j] - base[j]
+		}
+		rmsMedian = score(corrMed)
+		hp, err := dsp.Butterworth2Highpass(0.5, fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rmsHP = score(hp.Apply(lead))
+	}
+	b.ReportMetric(rmsMorph*1000, "resid-mV-morph")
+	b.ReportMetric(rmsSpline*1000, "resid-mV-spline")
+	b.ReportMetric(rmsMedian*1000, "resid-mV-median")
+	b.ReportMetric(rmsHP*1000, "resid-mV-highpass")
+}
+
+// BenchmarkAblationNoiseSuppression compares the three noise-suppression
+// options on EMG-corrupted ECG: the morphological open/close average of
+// ref [9], wavelet garrote shrinkage, and the 0.5-40 Hz band-pass.
+func BenchmarkAblationNoiseSuppression(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 92, Duration: 16, Noise: ecg.NoiseConfig{EMG: 0.06}})
+	clean := rec.Clean[0]
+	lead := rec.Leads[0]
+	score := func(y []float64) float64 { return dsp.SNRdB(clean[256:len(clean)-256], y[256:len(y)-256]) }
+	var snrIn, snrMorph, snrWave, snrBP float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snrIn = score(lead)
+		ym, err := morpho.SuppressNoise(lead, morpho.FilterConfig{Fs: rec.Fs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		snrMorph = score(ym)
+		yw, err := wavelet.Denoise(lead, wavelet.DenoiseConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		snrWave = score(yw)
+		ch, err := dsp.BandpassECG(rec.Fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snrBP = score(ch.Apply(lead))
+	}
+	b.ReportMetric(snrIn, "SNR-in")
+	b.ReportMetric(snrMorph, "SNR-morph")
+	b.ReportMetric(snrWave, "SNR-wavelet")
+	b.ReportMetric(snrBP, "SNR-bandpass")
+	if snrWave <= snrIn {
+		b.Errorf("wavelet denoising did not improve SNR: %.1f <= %.1f", snrWave, snrIn)
+	}
+}
+
+// BenchmarkNoiseStressDelineation reproduces the classic noise-stress
+// protocol: R-peak detection quality as EMG noise grows, with and
+// without the conditioning chain. Published delineators degrade
+// gracefully until the noise approaches the wave amplitudes.
+func BenchmarkNoiseStressDelineation(b *testing.B) {
+	wd, err := delineation.NewWaveletDelineator(delineation.Config{Fs: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels := []float64{0.02, 0.06, 0.12, 0.20}
+	results := map[float64]float64{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, emg := range levels {
+			var rep delineation.Report
+			for seed := int64(0); seed < 2; seed++ {
+				rec := ecg.Generate(ecg.Config{
+					Seed: 950 + seed, Duration: 30,
+					Noise: ecg.NoiseConfig{EMG: emg},
+				})
+				filtered, err := morpho.FilterLeads(rec.Leads, morpho.FilterConfig{Fs: 256})
+				if err != nil {
+					b.Fatal(err)
+				}
+				beats, err := wd.Delineate(dsp.CombineRMS(filtered))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = delineation.Merge(rep, delineation.Evaluate(rec, beats, delineation.DefaultTolerances()))
+			}
+			results[emg] = rep.R.Se()
+		}
+	}
+	for _, emg := range levels {
+		b.ReportMetric(100*results[emg], fmt.Sprintf("%%Se-R@EMG%.2f", emg))
+	}
+	if results[0.02] < 0.99 {
+		b.Errorf("low-noise sensitivity %.3f", results[0.02])
+	}
+}
+
+// BenchmarkRefClassificationTable reproduces the per-class evaluation
+// style of ref [14]: 3-fold cross-validated sensitivity per beat class
+// plus PVC specificity, on a mixed synthetic population.
+func BenchmarkRefClassificationTable(b *testing.B) {
+	recs := ecg.GenerateSet(ecg.Config{
+		Duration: 120,
+		Rhythm:   ecg.RhythmConfig{PVCRate: 0.1, APBRate: 0.06},
+		Noise:    ecg.NoiseConfig{EMG: 0.02},
+	}, 840, 3)
+	w := classify.DefaultBeatWindow(256)
+	rng := rand.New(rand.NewSource(21))
+	rp, err := classify.NewRPMatrix(16, w.Len(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := classify.BuildDataset(recs, 0, w, rp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cm *classify.ConfusionMatrix
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm, err = classify.CrossValidate(rp, ds, 3, classify.TrainConfig{PrototypesPerClass: 4, Seed: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*cm.Accuracy(), "%accuracy")
+	b.ReportMetric(100*cm.Sensitivity(int(ecg.LabelNormal)), "%Se-N")
+	b.ReportMetric(100*cm.Sensitivity(int(ecg.LabelPVC)), "%Se-V")
+	b.ReportMetric(100*cm.Sensitivity(int(ecg.LabelAPB)), "%Se-A")
+	b.ReportMetric(100*cm.Specificity(int(ecg.LabelPVC)), "%Sp-V")
+}
+
+// BenchmarkCoreScaling sweeps the platform's core count on an 8-lead
+// conditioning workload (Section IV.B: parallelism converts into
+// voltage-scaling headroom, with diminishing returns at the leakage
+// floor).
+func BenchmarkCoreScaling(b *testing.B) {
+	var res []wbsn.AppResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = wbsn.RunCoreScaling(wbsn.DefaultEnergy(), 1, []int{1, 2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, r := range res {
+		b.ReportMetric(r.MC.TotalW()*1e6, fmt.Sprintf("µW-%dcores", 1<<i))
+	}
+}
+
+// BenchmarkDatabaseDelineation runs the Text-1 evaluation over the full
+// 16-subject synthetic library (varying heart rates, wide-QRS,
+// low-voltage, tall-T, ectopy, noise and AF) — the "averaged over all
+// records" protocol of the clinical-database studies the paper cites.
+func BenchmarkDatabaseDelineation(b *testing.B) {
+	db := ecg.GenerateDatabase(30, 500)
+	wd, err := delineation.NewWaveletDelineator(delineation.Config{Fs: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total delineation.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total = delineation.Report{}
+		for _, rec := range db {
+			filtered, err := morpho.FilterLeads(rec.Leads, morpho.FilterConfig{Fs: 256})
+			if err != nil {
+				b.Fatal(err)
+			}
+			beats, err := wd.Delineate(dsp.CombineRMS(filtered))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = delineation.Merge(total, delineation.Evaluate(rec, beats, delineation.DefaultTolerances()))
+		}
+	}
+	b.ReportMetric(100*total.R.Se(), "%Se-R")
+	b.ReportMetric(100*total.R.PPV(), "%PPV-R")
+	b.ReportMetric(100*total.TPeak.Se(), "%Se-Tpeak")
+	if total.R.Se() < 0.95 || total.R.PPV() < 0.95 {
+		b.Errorf("database-wide QRS detection Se=%.3f PPV=%.3f", total.R.Se(), total.R.PPV())
+	}
+}

@@ -1,0 +1,3 @@
+module wbsn
+
+go 1.22

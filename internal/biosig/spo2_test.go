@@ -1,0 +1,110 @@
+package biosig
+
+import (
+	"math"
+	"testing"
+
+	"wbsn/internal/ecg"
+)
+
+func TestSpO2CalibrationInverses(t *testing.T) {
+	for _, s := range []float64{85, 90, 95, 98, 100} {
+		r := RatioForSpO2(s)
+		back := SpO2ForRatio(r)
+		if math.Abs(back-s) > 1e-9 {
+			t.Errorf("round trip of %v = %v", s, back)
+		}
+	}
+	if SpO2ForRatio(-1) != 100 {
+		t.Error("negative ratio should clamp to 100")
+	}
+	if SpO2ForRatio(10) != 0 {
+		t.Error("huge ratio should clamp to 0")
+	}
+}
+
+func TestSynthesizeOximeterValidation(t *testing.T) {
+	if _, _, err := SynthesizeOximeter(100, []int{1}, []float64{98}, OximeterConfig{}); err != ErrConfig {
+		t.Error("missing Fs should fail")
+	}
+	if _, _, err := SynthesizeOximeter(100, []int{1, 2}, []float64{98}, OximeterConfig{Fs: 256}); err != ErrConfig {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestSpO2RoundTripThroughProbe(t *testing.T) {
+	fs := 256.0
+	rec := ecg.Generate(ecg.Config{Seed: 12, Duration: 60})
+	rPeaks := rec.RPeaks()
+	for _, truth := range []float64{85, 92, 98} {
+		spo2 := make([]float64, len(rPeaks))
+		for i := range spo2 {
+			spo2[i] = truth
+		}
+		red, ir, err := SynthesizeOximeter(rec.Len(), rPeaks, spo2, OximeterConfig{Fs: fs, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Skip the lead-in before the first pulse.
+		lo := rPeaks[0] + 100
+		est, _ := EstimateSpO2(red[lo:], ir[lo:])
+		if math.Abs(est-truth) > 1.5 {
+			t.Errorf("SpO2 %v estimated as %.2f", truth, est)
+		}
+	}
+}
+
+func TestSpO2TracksDesaturation(t *testing.T) {
+	// A desaturation event (e.g. apnea in the sleep scenario): windowed
+	// estimates must follow the drop.
+	fs := 256.0
+	rec := ecg.Generate(ecg.Config{Seed: 13, Duration: 120})
+	rPeaks := rec.RPeaks()
+	spo2 := make([]float64, len(rPeaks))
+	for i := range spo2 {
+		if i < len(spo2)/2 {
+			spo2[i] = 98
+		} else {
+			spo2[i] = 88
+		}
+	}
+	red, ir, err := SynthesizeOximeter(rec.Len(), rPeaks, spo2, OximeterConfig{Fs: fs, NoiseRMS: 1e-4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, hop := int(10*fs), int(5*fs)
+	ests := EstimateSpO2Windows(red, ir, win, hop)
+	if len(ests) < 5 {
+		t.Fatalf("only %d windows", len(ests))
+	}
+	first := ests[1] // skip the lead-in window
+	last := ests[len(ests)-1]
+	if math.Abs(first-98) > 2 {
+		t.Errorf("pre-event SpO2 %.2f, want ~98", first)
+	}
+	if math.Abs(last-88) > 2 {
+		t.Errorf("post-event SpO2 %.2f, want ~88", last)
+	}
+	if !(last < first-5) {
+		t.Errorf("desaturation not tracked: %.1f -> %.1f", first, last)
+	}
+}
+
+func TestEstimateSpO2Degenerate(t *testing.T) {
+	if s, _ := EstimateSpO2(nil, nil); s != 0 {
+		t.Error("empty channels should give 0")
+	}
+	if s, _ := EstimateSpO2([]float64{1}, []float64{1, 2}); s != 0 {
+		t.Error("mismatched channels should give 0")
+	}
+	flat := make([]float64, 100)
+	for i := range flat {
+		flat[i] = 1
+	}
+	if s, _ := EstimateSpO2(flat, flat); s != 0 {
+		t.Error("no pulsation should give 0")
+	}
+	if EstimateSpO2Windows(flat, flat, 0, 5) != nil {
+		t.Error("bad window params should give nil")
+	}
+}

@@ -1,0 +1,257 @@
+package classify
+
+import (
+	"wbsn/internal/dsp"
+	"wbsn/internal/ecg"
+)
+
+// BeatWindow is the fixed beat excerpt the classifier consumes: samples
+// centred on the R peak, amplitude-normalised. Ref [14] classifies on a
+// window wide enough to span the whole QRS plus the ST segment.
+type BeatWindow struct {
+	// Before and After are the sample counts taken before and after R.
+	Before, After int
+}
+
+// DefaultBeatWindow returns the window used by the RP-CLASS workload:
+// 250 ms before to 400 ms after the R peak at the given sampling rate.
+func DefaultBeatWindow(fs float64) BeatWindow {
+	return BeatWindow{Before: int(0.25 * fs), After: int(0.40 * fs)}
+}
+
+// Len returns the window length in samples.
+func (w BeatWindow) Len() int { return w.Before + w.After }
+
+// Extract cuts the beat window around sample r from x and normalises it
+// to zero mean and unit peak amplitude (amplitude jitter must not drive
+// the classifier). Returns nil when the window does not fit.
+func (w BeatWindow) Extract(x []float64, r int) []float64 {
+	lo, hi := r-w.Before, r+w.After
+	if lo < 0 || hi > len(x) {
+		return nil
+	}
+	out := make([]float64, w.Len())
+	copy(out, x[lo:hi])
+	m := dsp.Mean(out)
+	peak := 0.0
+	for i := range out {
+		out[i] -= m
+		if a := abs(out[i]); a > peak {
+			peak = a
+		}
+	}
+	if peak > 0 {
+		inv := 1 / peak
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Dataset is a labelled set of projected beat features.
+type Dataset struct {
+	// ByClass maps a beat label (int(ecg.BeatLabel)) to feature vectors.
+	ByClass map[int][][]float64
+	// Count is the total number of beats.
+	Count int
+}
+
+// BuildDataset extracts, normalises and projects every annotated beat of
+// the records, keyed by its ground-truth label. Signals are taken from
+// the given lead of each record. Beats whose window does not fit are
+// skipped.
+func BuildDataset(records []*ecg.Record, lead int, w BeatWindow, rp *RPMatrix) (*Dataset, error) {
+	ds := &Dataset{ByClass: make(map[int][][]float64)}
+	for _, rec := range records {
+		if lead >= len(rec.Leads) {
+			continue
+		}
+		x := rec.Leads[lead]
+		for _, b := range rec.Beats {
+			beat := w.Extract(x, b.Fid.RPeak)
+			if beat == nil {
+				continue
+			}
+			z, err := rp.Project(beat)
+			if err != nil {
+				return nil, err
+			}
+			ds.ByClass[int(b.Label)] = append(ds.ByClass[int(b.Label)], z)
+			ds.Count++
+		}
+	}
+	return ds, nil
+}
+
+// Split partitions the dataset into train and test subsets with the given
+// train fraction, preserving per-class proportions (deterministic:
+// the first ⌈frac·n⌉ of each class go to train).
+func (d *Dataset) Split(frac float64) (train, test *Dataset) {
+	train = &Dataset{ByClass: make(map[int][][]float64)}
+	test = &Dataset{ByClass: make(map[int][][]float64)}
+	for label, vecs := range d.ByClass {
+		cut := int(frac*float64(len(vecs)) + 0.5)
+		if cut < 1 {
+			cut = 1
+		}
+		if cut > len(vecs) {
+			cut = len(vecs)
+		}
+		train.ByClass[label] = vecs[:cut]
+		test.ByClass[label] = vecs[cut:]
+		train.Count += cut
+		test.Count += len(vecs) - cut
+	}
+	return train, test
+}
+
+// ConfusionMatrix counts predictions: Counts[truth][predicted].
+type ConfusionMatrix struct {
+	Labels []int
+	Counts map[int]map[int]int
+}
+
+// Evaluate classifies every test vector and tallies the confusion matrix.
+func EvaluateClassifier(c *Classifier, test *Dataset) (*ConfusionMatrix, error) {
+	cm := &ConfusionMatrix{Labels: c.Classes(), Counts: make(map[int]map[int]int)}
+	for truth, vecs := range test.ByClass {
+		if cm.Counts[truth] == nil {
+			cm.Counts[truth] = make(map[int]int)
+		}
+		for _, z := range vecs {
+			pred, _, err := c.PredictProjected(z)
+			if err != nil {
+				return nil, err
+			}
+			cm.Counts[truth][pred]++
+		}
+	}
+	return cm, nil
+}
+
+// Accuracy returns overall fraction correct.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	correct, total := 0, 0
+	for truth, row := range m.Counts {
+		for pred, n := range row {
+			total += n
+			if pred == truth {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Sensitivity returns the per-class recall TP/(TP+FN) for the label.
+func (m *ConfusionMatrix) Sensitivity(label int) float64 {
+	row := m.Counts[label]
+	total := 0
+	for _, n := range row {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(row[label]) / float64(total)
+}
+
+// Specificity returns TN/(TN+FP) for the label (all other classes
+// correctly not predicted as label).
+func (m *ConfusionMatrix) Specificity(label int) float64 {
+	tn, fp := 0, 0
+	for truth, row := range m.Counts {
+		if truth == label {
+			continue
+		}
+		for pred, n := range row {
+			if pred == label {
+				fp += n
+			} else {
+				tn += n
+			}
+		}
+	}
+	if tn+fp == 0 {
+		return 0
+	}
+	return float64(tn) / float64(tn+fp)
+}
+
+// KFold partitions the dataset into k folds per class (round-robin) and
+// returns, for fold i, the training set (all other folds) and test set
+// (fold i). Used for the cross-validated evaluation protocol of
+// ref [14].
+func (d *Dataset) KFold(k int) []struct{ Train, Test *Dataset } {
+	if k < 2 {
+		return nil
+	}
+	out := make([]struct{ Train, Test *Dataset }, k)
+	for i := range out {
+		out[i].Train = &Dataset{ByClass: make(map[int][][]float64)}
+		out[i].Test = &Dataset{ByClass: make(map[int][][]float64)}
+	}
+	for label, vecs := range d.ByClass {
+		for vi, v := range vecs {
+			fold := vi % k
+			for i := range out {
+				if i == fold {
+					out[i].Test.ByClass[label] = append(out[i].Test.ByClass[label], v)
+					out[i].Test.Count++
+				} else {
+					out[i].Train.ByClass[label] = append(out[i].Train.ByClass[label], v)
+					out[i].Train.Count++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CrossValidate trains and evaluates over k folds, returning the pooled
+// confusion matrix. Folds whose training set misses a class are skipped
+// (their test beats are not scored).
+func CrossValidate(rp *RPMatrix, d *Dataset, k int, cfg TrainConfig) (*ConfusionMatrix, error) {
+	pooled := &ConfusionMatrix{Counts: make(map[int]map[int]int)}
+	for _, fold := range d.KFold(k) {
+		ok := true
+		for label := range d.ByClass {
+			if len(fold.Train.ByClass[label]) == 0 {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		cl, err := Train(rp, fold.Train.ByClass, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cl.UseLinExp = true
+		cm, err := EvaluateClassifier(cl, fold.Test)
+		if err != nil {
+			return nil, err
+		}
+		pooled.Labels = cm.Labels
+		for truth, row := range cm.Counts {
+			if pooled.Counts[truth] == nil {
+				pooled.Counts[truth] = make(map[int]int)
+			}
+			for pred, n := range row {
+				pooled.Counts[truth][pred] += n
+			}
+		}
+	}
+	return pooled, nil
+}

@@ -1,0 +1,52 @@
+package core
+
+import "wbsn/internal/ecg"
+
+// This file computes the Figure 1 ladder: the transmitted bandwidth and
+// estimated node power at every abstraction level for the same input,
+// quantifying the paper's central trade — "on-node digital signal
+// processing increases the energy efficiency of cardiac monitoring by
+// rising the abstraction level and decreasing the bandwidth of
+// transmitted data".
+
+// LadderRung is one abstraction level's cost summary.
+type LadderRung struct {
+	Mode             Mode
+	TxBytesPerSecond float64
+	AvgPowerW        float64
+	BatteryLifetimeH float64
+}
+
+// Ladder processes the record at every abstraction level and returns one
+// rung per mode, in ladder order. classifierSeed trains a classifier on
+// the record itself when the classification rung is requested (adequate
+// for bandwidth accounting; deployment would train off-line).
+func Ladder(rec *ecg.Record, classifierSeed int64) ([]LadderRung, error) {
+	cl, err := TrainClassifier([]*ecg.Record{rec}, rec.Fs, classifierSeed)
+	if err != nil {
+		return nil, err
+	}
+	modes := []Mode{ModeRawStreaming, ModeCS, ModeDelineation, ModeClassification, ModeAFAlarm}
+	var out []LadderRung
+	for _, m := range modes {
+		cfg := Config{Mode: m, Fs: rec.Fs, Leads: len(rec.Leads)}
+		if m == ModeClassification {
+			cfg.Classifier = cl
+		}
+		node, err := NewNode(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := node.Process(rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LadderRung{
+			Mode:             m,
+			TxBytesPerSecond: res.TxBytesPerSecond,
+			AvgPowerW:        res.EnergyAvgPowerW,
+			BatteryLifetimeH: res.BatteryLifetimeH,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,388 @@
+// Package core assembles the substrates into the paper's system: a
+// wireless body sensor node that acquires multi-lead ECG, conditions it,
+// and — depending on the application — streams it raw, compresses it
+// with CS, delineates it, classifies heartbeats or raises atrial-
+// fibrillation alarms. Each step up this ladder (Figure 1 of the paper)
+// raises the abstraction level of the transmitted data and cuts the
+// radio bandwidth, which is what extends the battery life of the node.
+//
+// The Node type is the library's main entry point; see examples/ for
+// runnable scenarios.
+package core
+
+import (
+	"errors"
+	"math/rand"
+
+	"wbsn/internal/af"
+	"wbsn/internal/classify"
+	"wbsn/internal/cs"
+	"wbsn/internal/delineation"
+	"wbsn/internal/dsp"
+	"wbsn/internal/ecg"
+	"wbsn/internal/energy"
+	"wbsn/internal/morpho"
+)
+
+// Errors returned by the node.
+var (
+	ErrConfig       = errors.New("core: invalid node configuration")
+	ErrNoClassifier = errors.New("core: classification mode requires a trained classifier")
+)
+
+// Mode selects the node's application — one rung of the Figure 1 ladder.
+type Mode int
+
+// Operating modes, in increasing order of on-node abstraction.
+const (
+	// ModeRawStreaming transmits every raw sample (the unsustainable
+	// baseline of Section I).
+	ModeRawStreaming Mode = iota
+	// ModeCS transmits compressed-sensing measurements (Section III.A).
+	ModeCS
+	// ModeDelineation transmits per-beat fiducial points (Section III.C).
+	ModeDelineation
+	// ModeClassification transmits per-beat class labels (Section III.D).
+	ModeClassification
+	// ModeAFAlarm transmits only AF episode alarms (Section V).
+	ModeAFAlarm
+)
+
+// String returns the mode's display name.
+func (m Mode) String() string {
+	switch m {
+	case ModeRawStreaming:
+		return "raw-streaming"
+	case ModeCS:
+		return "compressed-sensing"
+	case ModeDelineation:
+		return "delineation"
+	case ModeClassification:
+		return "classification"
+	case ModeAFAlarm:
+		return "af-alarm"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterises a Node.
+type Config struct {
+	// Mode selects the application.
+	Mode Mode
+	// Fs is the sampling rate in Hz (default 256).
+	Fs float64
+	// Leads is the lead count (default 3).
+	Leads int
+	// CSWindow is the compression window length (default 512).
+	CSWindow int
+	// CSRatio is the compression ratio in percent (default 65.9, the
+	// paper's single-lead good-quality operating point).
+	CSRatio float64
+	// CSDensity is the sparse-binary column density (default 4).
+	CSDensity int
+	// Filter enables morphological conditioning before analysis
+	// (default true for the analysis modes; never used for raw/CS
+	// which transmit the acquired signal).
+	DisableFilter bool
+	// Classifier is required in ModeClassification.
+	Classifier *classify.Classifier
+	// BitsPerSample quantises raw samples and CS measurements
+	// (default 12).
+	BitsPerSample int
+	// QuantBits, when positive, passes streamed CS measurements through
+	// an explicit uniform quantiser of that many bits before
+	// transmission (the payload knob of Figure 6); 0 transmits at
+	// BitsPerSample without modelling the rounding.
+	QuantBits int
+	// Seed drives sensing-matrix generation.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	out := c
+	if out.Fs <= 0 {
+		out.Fs = 256
+	}
+	if out.Leads <= 0 {
+		out.Leads = 3
+	}
+	if out.CSWindow <= 0 {
+		out.CSWindow = 512
+	}
+	if out.CSRatio <= 0 {
+		out.CSRatio = 65.9
+	}
+	if out.CSDensity <= 0 {
+		out.CSDensity = 4
+	}
+	if out.BitsPerSample <= 0 {
+		out.BitsPerSample = 12
+	}
+	return out
+}
+
+// Node is one configured wireless body sensor node.
+type Node struct {
+	cfg     Config
+	enc     *cs.Encoder
+	del     *delineation.WaveletDelineator
+	afd     *af.Detector
+	energy  energy.NodeModel
+	beatWin classify.BeatWindow
+}
+
+// NewNode validates the configuration and builds the processing chain.
+func NewNode(cfg Config) (*Node, error) {
+	c := cfg.withDefaults()
+	if c.Mode < ModeRawStreaming || c.Mode > ModeAFAlarm {
+		return nil, ErrConfig
+	}
+	if c.Mode == ModeClassification && c.Classifier == nil {
+		return nil, ErrNoClassifier
+	}
+	n := &Node{cfg: c, energy: energy.DefaultNode(), beatWin: classify.DefaultBeatWindow(c.Fs)}
+	if c.Mode == ModeCS {
+		m := cs.MeasurementsForCR(c.CSWindow, c.CSRatio)
+		d := c.CSDensity
+		if d > m {
+			d = m
+		}
+		phi, err := cs.NewSparseBinary(m, c.CSWindow, d, rand.New(rand.NewSource(c.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		n.enc = cs.NewEncoder(phi)
+	}
+	if c.Mode >= ModeDelineation {
+		dcfg := delineation.Config{Fs: c.Fs}
+		if c.Mode == ModeAFAlarm {
+			// The conditioning filter smooths fibrillatory f-waves into
+			// P-like bumps; a stricter P acceptance threshold keeps the
+			// P-absence evidence discriminative.
+			dcfg.MinWaveAmp = 0.10
+		}
+		del, err := delineation.NewWaveletDelineator(dcfg)
+		if err != nil {
+			return nil, err
+		}
+		n.del = del
+	}
+	if c.Mode == ModeAFAlarm {
+		afd, err := af.NewDetector(af.Config{Fs: c.Fs})
+		if err != nil {
+			return nil, err
+		}
+		n.afd = afd
+	}
+	return n, nil
+}
+
+// Config returns the node's effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// BeatOutput is one transmitted beat event.
+type BeatOutput struct {
+	Fiducials delineation.BeatFiducials
+	// Label is the predicted class in ModeClassification (-1 otherwise).
+	Label int
+	// Membership is the classifier confidence.
+	Membership float64
+}
+
+// Result is the outcome of processing one record.
+type Result struct {
+	Mode Mode
+	// DurationS is the processed signal duration.
+	DurationS float64
+	// TxBytes is the total transmitted payload.
+	TxBytes int
+	// TxBytesPerSecond is the resulting radio bandwidth.
+	TxBytesPerSecond float64
+	// Beats holds the delineated beats (analysis modes).
+	Beats []BeatOutput
+	// AFDecisions holds the windowed AF verdicts (ModeAFAlarm).
+	AFDecisions []af.Decision
+	// AFAlarm reports whether the record triggered an AF alarm.
+	AFAlarm bool
+	// Energy is the per-record node energy estimate.
+	Energy energy.Breakdown
+	// EnergyAvgPowerW is the average node power over the record.
+	EnergyAvgPowerW float64
+	// BatteryLifetimeH extrapolates the battery lifetime at this power.
+	BatteryLifetimeH float64
+}
+
+// Process runs the node's pipeline over a full record.
+func (n *Node) Process(rec *ecg.Record) (*Result, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Mode: n.cfg.Mode, DurationS: rec.Duration()}
+	samples := rec.Len() * len(rec.Leads)
+	compOps := 0
+	switch n.cfg.Mode {
+	case ModeRawStreaming:
+		res.TxBytes = (samples*n.cfg.BitsPerSample + 7) / 8
+	case ModeCS:
+		windows := rec.Len() / n.cfg.CSWindow
+		mPerWin := n.enc.MeasurementLen() * len(rec.Leads)
+		res.TxBytes = windows * ((mPerWin*n.cfg.BitsPerSample + 7) / 8)
+		compOps = windows * n.enc.Matrix().(*cs.SparseBinary).AddsPerWindow() * len(rec.Leads)
+	default:
+		beats, ops, err := n.analyze(rec)
+		if err != nil {
+			return nil, err
+		}
+		compOps = ops
+		res.Beats = beats
+		switch n.cfg.Mode {
+		case ModeDelineation:
+			// 9 fiducials at 2 bytes each, plus a 2-byte beat header.
+			res.TxBytes = len(beats) * (9*2 + 2)
+		case ModeClassification:
+			// Label byte + 3-byte R-peak offset per beat.
+			res.TxBytes = len(beats) * 4
+		case ModeAFAlarm:
+			dels := make([]delineation.BeatFiducials, len(beats))
+			for i, b := range beats {
+				dels[i] = b.Fiducials
+			}
+			res.AFDecisions = n.afd.Detect(dels)
+			res.AFAlarm = af.RecordVerdict(res.AFDecisions, 0.5)
+			// One status byte per decision window; alarms piggy-back.
+			res.TxBytes = len(res.AFDecisions)
+		}
+	}
+	if res.DurationS > 0 {
+		res.TxBytesPerSecond = float64(res.TxBytes) / res.DurationS
+	}
+	res.Energy = energy.Breakdown{
+		Label:   n.cfg.Mode.String(),
+		RadioJ:  n.energy.Radio.TxEnergyJ(res.TxBytes),
+		SampleJ: n.energy.ADC.SamplingEnergyJ(samples),
+		CompJ:   n.energy.CPU.ComputeEnergyJ(compOps),
+		OSJ:     n.energy.OS.EnergyPerWindowJ * res.DurationS,
+	}
+	if res.DurationS > 0 {
+		res.EnergyAvgPowerW = res.Energy.TotalJ() / res.DurationS
+		res.BatteryLifetimeH = energy.DefaultBattery().LifetimeHours(res.EnergyAvgPowerW)
+	}
+	return res, nil
+}
+
+// analyze runs conditioning, lead combination, delineation and (in
+// classification mode) per-beat labelling, and returns the beats plus an
+// abstract operation count for the energy model.
+func (n *Node) analyze(rec *ecg.Record) ([]BeatOutput, int, error) {
+	leads := rec.Leads
+	ops := 0
+	if !n.cfg.DisableFilter {
+		filtered, err := morpho.FilterLeads(leads, morpho.FilterConfig{Fs: n.cfg.Fs})
+		if err != nil {
+			return nil, 0, err
+		}
+		leads = filtered
+		ops += rec.Len() * len(leads) * 24 // van Herk stages per sample
+	}
+	combined := dsp.CombineRMS(leads)
+	ops += rec.Len() * (len(leads) + 2)
+	beats, err := n.del.Delineate(combined)
+	if err != nil {
+		return nil, 0, err
+	}
+	ops += rec.Len() * 30 // à-trous bank + threshold logic
+	out := make([]BeatOutput, 0, len(beats))
+	for _, b := range beats {
+		bo := BeatOutput{Fiducials: b, Label: -1}
+		if n.cfg.Mode == ModeClassification {
+			beat := n.beatWin.Extract(combined, b.R)
+			if beat != nil {
+				label, mem, err := n.cfg.Classifier.Predict(beat)
+				if err != nil {
+					return nil, 0, err
+				}
+				bo.Label = label
+				bo.Membership = mem
+				ops += n.cfg.Classifier.RP().AddsPerProjection() + 400
+			}
+		}
+		out = append(out, bo)
+	}
+	return out, ops, nil
+}
+
+// TrainClassifier builds a heartbeat classifier from labelled records —
+// the off-line training stage whose product is deployed on the node
+// (ref [14] trains on MIT-BIH and ports the network to the WBSN).
+// Training beats pass through the same conditioning the node applies at
+// inference time (morphological filtering and RMS lead combination), so
+// the deployed prototypes match the on-node feature distribution.
+func TrainClassifier(records []*ecg.Record, fs float64, seed int64) (*classify.Classifier, error) {
+	w := classify.DefaultBeatWindow(fs)
+	rp, err := classify.NewRPMatrix(16, w.Len(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	del, err := delineation.NewWaveletDelineator(delineation.Config{Fs: fs})
+	if err != nil {
+		return nil, err
+	}
+	byClass := make(map[int][][]float64)
+	for _, rec := range records {
+		filtered, err := morpho.FilterLeads(rec.Leads, morpho.FilterConfig{Fs: fs})
+		if err != nil {
+			return nil, err
+		}
+		combined := dsp.CombineRMS(filtered)
+		// Train on beats anchored at *detected* R peaks (labelled by the
+		// nearest ground-truth beat): random projections are not
+		// shift-invariant, so the training anchors must match the
+		// inference-time detector's alignment.
+		detected, err := del.Delineate(combined)
+		if err != nil {
+			return nil, err
+		}
+		for _, db := range detected {
+			label, ok := nearestLabel(rec, db.R, int(0.06*fs))
+			if !ok {
+				continue
+			}
+			beat := w.Extract(combined, db.R)
+			if beat == nil {
+				continue
+			}
+			z, err := rp.Project(beat)
+			if err != nil {
+				return nil, err
+			}
+			byClass[label] = append(byClass[label], z)
+		}
+	}
+	cl, err := classify.Train(rp, byClass, classify.TrainConfig{PrototypesPerClass: 4, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	cl.UseLinExp = true // the embedded kernel path
+	return cl, nil
+}
+
+// nearestLabel returns the label of the ground-truth beat closest to
+// sample r, if one lies within tol samples.
+func nearestLabel(rec *ecg.Record, r, tol int) (int, bool) {
+	best, bestD := -1, tol+1
+	for _, b := range rec.Beats {
+		d := b.Fid.RPeak - r
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			bestD = d
+			best = int(b.Label)
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}

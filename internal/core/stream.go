@@ -1,0 +1,266 @@
+package core
+
+import (
+	"errors"
+
+	"wbsn/internal/af"
+	"wbsn/internal/cs"
+	"wbsn/internal/delineation"
+	"wbsn/internal/dsp"
+	"wbsn/internal/morpho"
+)
+
+// ErrStream is returned for invalid streaming usage.
+var ErrStream = errors.New("core: invalid stream input")
+
+// EventKind tags a streaming output event.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventPacket is a radio payload ready for transmission (raw or CS
+	// measurements).
+	EventPacket EventKind = iota
+	// EventBeat is a delineated (and possibly classified) heartbeat.
+	EventBeat
+	// EventAF is a windowed atrial-fibrillation decision.
+	EventAF
+)
+
+// Event is one output of the streaming node.
+type Event struct {
+	Kind EventKind
+	// At is the absolute sample index the event refers to (window start
+	// for packets, R peak for beats, window start for AF decisions).
+	At int
+	// Bytes is the payload size for EventPacket.
+	Bytes int
+	// Measurements holds the per-lead CS measurement vectors of a
+	// ModeCS packet (nil for raw packets), for receiver-side
+	// reconstruction.
+	Measurements [][]float64
+	// Beat is set for EventBeat.
+	Beat BeatOutput
+	// AF is set for EventAF.
+	AF af.Decision
+}
+
+// Stream is the on-line form of the node: samples are pushed as they are
+// acquired and events come out with bounded latency. Analysis modes
+// process overlapping chunks internally so beats crossing chunk borders
+// are not lost.
+type Stream struct {
+	node *Node
+	// absolute index of the next sample to be pushed.
+	pos int
+	// per-lead buffered samples (absolute start at bufStart).
+	buf      [][]float64
+	bufStart int
+	// chunkLen and hop control the analysis windowing.
+	chunkLen, hop int
+	// lastBeatR is the absolute R of the last emitted beat (dedup).
+	lastBeatR int
+	// beats accumulated for AF windowing (absolute Rs).
+	afBeats []delineation.BeatFiducials
+	afEmit  int // beats already covered by emitted AF windows
+}
+
+// NewStream creates a streaming processor for the node's mode.
+func (n *Node) NewStream() (*Stream, error) {
+	s := &Stream{node: n, lastBeatR: -1}
+	s.buf = make([][]float64, n.cfg.Leads)
+	switch n.cfg.Mode {
+	case ModeRawStreaming:
+		s.chunkLen = n.cfg.CSWindow // packetise at the same granularity
+		s.hop = s.chunkLen
+	case ModeCS:
+		s.chunkLen = n.cfg.CSWindow
+		s.hop = s.chunkLen
+	default:
+		// Analysis chunk: 4 s with 1 s overlap keeps every beat fully
+		// inside at least one chunk.
+		s.chunkLen = int(4 * n.cfg.Fs)
+		s.hop = s.chunkLen - int(1*n.cfg.Fs)
+	}
+	return s, nil
+}
+
+// Push appends one multi-lead sample (one value per lead) and returns
+// any events that became ready.
+func (s *Stream) Push(sample []float64) ([]Event, error) {
+	if len(sample) != len(s.buf) {
+		return nil, ErrStream
+	}
+	for i, v := range sample {
+		s.buf[i] = append(s.buf[i], v)
+	}
+	s.pos++
+	return s.drain(false)
+}
+
+// PushBlock appends a block of samples per lead (lead-major:
+// block[lead][i]) and returns the events that became ready.
+func (s *Stream) PushBlock(block [][]float64) ([]Event, error) {
+	if len(block) != len(s.buf) {
+		return nil, ErrStream
+	}
+	n := len(block[0])
+	for _, l := range block {
+		if len(l) != n {
+			return nil, ErrStream
+		}
+	}
+	for i := range block {
+		s.buf[i] = append(s.buf[i], block[i]...)
+	}
+	s.pos += n
+	return s.drain(false)
+}
+
+// Flush processes whatever remains in the buffer (end of acquisition).
+func (s *Stream) Flush() ([]Event, error) {
+	return s.drain(true)
+}
+
+// drain emits events for every complete chunk in the buffer.
+func (s *Stream) drain(flush bool) ([]Event, error) {
+	var events []Event
+	for {
+		have := len(s.buf[0])
+		if have < s.chunkLen && !(flush && have > 0) {
+			break
+		}
+		take := s.chunkLen
+		if take > have {
+			take = have
+		}
+		chunk := make([][]float64, len(s.buf))
+		for i := range s.buf {
+			chunk[i] = s.buf[i][:take]
+		}
+		evs, err := s.processChunk(chunk, s.bufStart)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, evs...)
+		// Advance by hop (or everything on a final short flush).
+		adv := s.hop
+		if take < s.chunkLen {
+			adv = take
+		}
+		for i := range s.buf {
+			s.buf[i] = s.buf[i][adv:]
+		}
+		s.bufStart += adv
+		if take < s.chunkLen {
+			break
+		}
+	}
+	return events, nil
+}
+
+// processChunk runs the node's pipeline over one chunk starting at
+// absolute sample index base.
+func (s *Stream) processChunk(chunk [][]float64, base int) ([]Event, error) {
+	n := s.node
+	var events []Event
+	switch n.cfg.Mode {
+	case ModeRawStreaming:
+		bytes := (len(chunk)*len(chunk[0])*n.cfg.BitsPerSample + 7) / 8
+		events = append(events, Event{Kind: EventPacket, At: base, Bytes: bytes})
+	case ModeCS:
+		if len(chunk[0]) == n.cfg.CSWindow {
+			ys := n.enc.EncodeLeads(chunk)
+			bits := n.cfg.BitsPerSample
+			if n.cfg.QuantBits > 0 {
+				// Explicit payload quantisation: the receiver sees the
+				// dequantised values (the per-window scale travels in the
+				// packet header).
+				bits = n.cfg.QuantBits
+				for li := range ys {
+					q, err := cs.NewQuantizer(bits, cs.AutoScale(ys[li], 1.05))
+					if err != nil {
+						return nil, err
+					}
+					ys[li], _ = q.QuantizeSlice(ys[li])
+				}
+			}
+			bytes := (n.enc.MeasurementLen()*len(chunk)*bits + 7) / 8
+			events = append(events, Event{Kind: EventPacket, At: base, Bytes: bytes, Measurements: ys})
+		}
+	default:
+		leads := chunk
+		if !n.cfg.DisableFilter {
+			filtered, err := morpho.FilterLeads(leads, morpho.FilterConfig{Fs: n.cfg.Fs})
+			if err != nil {
+				return nil, err
+			}
+			leads = filtered
+		}
+		combined := dsp.CombineRMS(leads)
+		beats, err := n.del.Delineate(combined)
+		if err != nil {
+			return nil, err
+		}
+		refractory := int(0.2 * n.cfg.Fs)
+		for _, b := range beats {
+			absR := b.R + base
+			if absR <= s.lastBeatR+refractory {
+				continue // already emitted by the previous overlapping chunk
+			}
+			// Skip beats in the trailing overlap region; the next chunk
+			// sees them with full context (unless this is the last data).
+			if b.R >= s.hop && len(chunk[0]) == s.chunkLen {
+				continue
+			}
+			s.lastBeatR = absR
+			bo := BeatOutput{Fiducials: offsetBeat(b, base), Label: -1}
+			if n.cfg.Mode == ModeClassification {
+				beat := n.beatWin.Extract(combined, b.R)
+				if beat != nil {
+					label, mem, err := n.cfg.Classifier.Predict(beat)
+					if err != nil {
+						return nil, err
+					}
+					bo.Label = label
+					bo.Membership = mem
+				}
+			}
+			events = append(events, Event{Kind: EventBeat, At: absR, Beat: bo})
+			if n.cfg.Mode == ModeAFAlarm {
+				s.afBeats = append(s.afBeats, bo.Fiducials)
+			}
+		}
+		if n.cfg.Mode == ModeAFAlarm {
+			w := 24 // detector window
+			for s.afEmit+w <= len(s.afBeats) {
+				f := af.ExtractFeatures(s.afBeats[s.afEmit:s.afEmit+w], n.cfg.Fs)
+				score := n.afd.Score(f)
+				events = append(events, Event{
+					Kind: EventAF,
+					At:   s.afBeats[s.afEmit].R,
+					AF:   af.Decision{StartBeat: s.afEmit, Score: score, AF: score >= 0.5, Features: f},
+				})
+				s.afEmit += w / 2
+			}
+		}
+	}
+	return events, nil
+}
+
+// offsetBeat shifts a beat's fiducials by the chunk base (absent waves
+// stay -1).
+func offsetBeat(b delineation.BeatFiducials, base int) delineation.BeatFiducials {
+	sh := func(v int) int {
+		if v < 0 {
+			return -1
+		}
+		return v + base
+	}
+	out := b
+	out.R = b.R + base
+	out.QRS = delineation.Wave{On: sh(b.QRS.On), Peak: sh(b.QRS.Peak), Off: sh(b.QRS.Off)}
+	out.P = delineation.Wave{On: sh(b.P.On), Peak: sh(b.P.Peak), Off: sh(b.P.Off)}
+	out.T = delineation.Wave{On: sh(b.T.On), Peak: sh(b.T.Peak), Off: sh(b.T.Off)}
+	return out
+}

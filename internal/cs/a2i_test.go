@@ -1,0 +1,215 @@
+package cs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wbsn/internal/dsp"
+	"wbsn/internal/ecg"
+)
+
+func TestNewA2IValidation(t *testing.T) {
+	if _, err := NewA2I(A2IConfig{Window: 0, Measurements: 10}); err != ErrA2I {
+		t.Error("zero window should fail")
+	}
+	if _, err := NewA2I(A2IConfig{Window: 64, Measurements: 100}); err != ErrA2I {
+		t.Error("m > n should fail")
+	}
+	if _, err := NewA2I(A2IConfig{Window: 64, Measurements: 16, LeakPerSample: 1}); err != ErrA2I {
+		t.Error("full leak should fail")
+	}
+	if _, err := NewA2I(A2IConfig{Window: 64, Measurements: 16, GainSigma: -1}); err != ErrA2I {
+		t.Error("negative gain sigma should fail")
+	}
+}
+
+func TestA2IIdealMatchesMatrix(t *testing.T) {
+	a, err := NewA2I(A2IConfig{Window: 128, Measurements: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 128)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y, err := a.Convert(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yMat := make([]float64, 32)
+	a.Matrix().Apply(x, yMat)
+	for i := range y {
+		if math.Abs(y[i]-yMat[i]) > 1e-9 {
+			t.Fatalf("ideal A2I measurement %d = %v, matrix %v", i, y[i], yMat[i])
+		}
+	}
+	if a.ConversionsPerWindow() != 32 {
+		t.Error("conversion count wrong")
+	}
+	if _, err := a.Convert(make([]float64, 100)); err != ErrA2I {
+		t.Error("bad window length should fail")
+	}
+}
+
+func TestA2IReconstruction(t *testing.T) {
+	// End-to-end: analog conversion at CR 50, digital reconstruction
+	// through the ideal chip matrix.
+	rec := ecg.Generate(ecg.Config{Seed: 31, Duration: 5})
+	x := rec.Clean[0][:512]
+	m := MeasurementsForCR(512, 50)
+	a, err := NewA2I(A2IConfig{Window: 512, Measurements: m, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := a.Convert(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(a.Matrix(), SolverConfig{Iters: 150, Reweights: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xhat, err := dec.Reconstruct(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr := dsp.SNRdB(x, xhat); snr < 18 {
+		t.Errorf("ideal A2I reconstruction %.1f dB at CR 50", snr)
+	}
+}
+
+func TestA2IImperfectionsDegradeQuality(t *testing.T) {
+	rec := ecg.Generate(ecg.Config{Seed: 32, Duration: 5})
+	x := rec.Clean[0][:512]
+	m := MeasurementsForCR(512, 50)
+	run := func(cfg A2IConfig) float64 {
+		cfg.Window = 512
+		cfg.Measurements = m
+		cfg.Seed = 5
+		a, err := NewA2I(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := a.Convert(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := NewDecoder(a.Matrix(), SolverConfig{Iters: 120})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xhat, err := dec.Reconstruct(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dsp.SNRdB(x, xhat)
+	}
+	ideal := run(A2IConfig{})
+	leaky := run(A2IConfig{LeakPerSample: 0.01})
+	mismatched := run(A2IConfig{GainSigma: 0.10})
+	if leaky >= ideal {
+		t.Errorf("integrator leak should degrade quality: %v vs %v", leaky, ideal)
+	}
+	if mismatched >= ideal {
+		t.Errorf("gain mismatch should degrade quality: %v vs %v", mismatched, ideal)
+	}
+	// The "A2I remains a challenge" observation: realistic imperfections
+	// cost several dB.
+	if ideal-leaky < 1 {
+		t.Errorf("1%% leak cost only %.2f dB; model too forgiving", ideal-leaky)
+	}
+}
+
+func TestQuantizerBasics(t *testing.T) {
+	if _, err := NewQuantizer(1, 1); err == nil {
+		t.Error("1-bit quantiser should fail")
+	}
+	if _, err := NewQuantizer(8, 0); err == nil {
+		t.Error("zero scale should fail")
+	}
+	q, err := NewQuantizer(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Bits() != 8 {
+		t.Error("Bits accessor wrong")
+	}
+	// Round trip within half an LSB.
+	lsb := 2.0 / 128
+	for _, v := range []float64{0, 0.5, -0.5, 1.9, -1.9} {
+		got := q.Dequantize(q.Quantize(v))
+		if math.Abs(got-v) > lsb {
+			t.Errorf("quantise round trip of %v = %v", v, got)
+		}
+	}
+	// Clipping at full scale.
+	if q.Dequantize(q.Quantize(5)) > 2 {
+		t.Error("positive overload should clip")
+	}
+	if q.Dequantize(q.Quantize(-5)) < -2.1 {
+		t.Error("negative overload should clip")
+	}
+}
+
+func TestQuantizeSlicePayload(t *testing.T) {
+	q, _ := NewQuantizer(12, 1)
+	y := make([]float64, 100)
+	_, bytes := q.QuantizeSlice(y)
+	if bytes != (100*12+7)/8 {
+		t.Errorf("payload = %d bytes", bytes)
+	}
+}
+
+func TestAutoScale(t *testing.T) {
+	if AutoScale(nil, 1.2) != 1 {
+		t.Error("empty input should give scale 1")
+	}
+	if AutoScale([]float64{0, 0}, 1.2) != 1 {
+		t.Error("zero input should give scale 1")
+	}
+	if got := AutoScale([]float64{-3, 2}, 1.5); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("AutoScale = %v, want 4.5", got)
+	}
+	if got := AutoScale([]float64{1}, 0.5); got != 1 {
+		t.Errorf("headroom below 1 should clamp: %v", got)
+	}
+}
+
+func TestQuantizedReconstructionBitsSweep(t *testing.T) {
+	// More bits per measurement, better reconstruction — saturating at
+	// the unquantised quality.
+	rec := ecg.Generate(ecg.Config{Seed: 33, Duration: 5})
+	x := rec.Clean[0][:512]
+	m := MeasurementsForCR(512, 50)
+	rng := rand.New(rand.NewSource(6))
+	phi, _ := NewSparseBinary(m, 512, 4, rng)
+	enc := NewEncoder(phi)
+	dec, err := NewDecoder(phi, SolverConfig{Iters: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := enc.Encode(x)
+	scale := AutoScale(y, 1.1)
+	var prev float64 = math.Inf(-1)
+	for _, bits := range []int{4, 8, 12} {
+		q, err := NewQuantizer(bits, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yq, _ := q.QuantizeSlice(y)
+		xhat, err := dec.Reconstruct(yq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snr := dsp.SNRdB(x, xhat)
+		if snr < prev-1 {
+			t.Errorf("quality fell from %.1f to %.1f dB when bits rose to %d", prev, snr, bits)
+		}
+		prev = snr
+	}
+	if prev < 15 {
+		t.Errorf("12-bit quantised reconstruction only %.1f dB", prev)
+	}
+}

@@ -1,0 +1,405 @@
+package cs
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"wbsn/internal/wavelet"
+)
+
+// ErrSolver is returned when solver inputs are inconsistent.
+var ErrSolver = errors.New("cs: inconsistent solver inputs")
+
+// SolverConfig parameterises the FISTA reconstructions.
+type SolverConfig struct {
+	// Wavelet is the orthonormal sparsity basis (default Daubechies8).
+	Wavelet *wavelet.Orthogonal
+	// Levels is the DWT depth (default 5).
+	Levels int
+	// Iters is the number of FISTA iterations (default 200).
+	Iters int
+	// LambdaRel sets the ℓ1 weight as a fraction of ||ΨᵀΦᵀy||∞
+	// (default 0.01).
+	LambdaRel float64
+	// Reweights is the number of iterative-reweighting passes after the
+	// first solve (Candès-Wakin-Boyd style: w_i ∝ 1/(|θ_i|+ε), a
+	// log-penalty surrogate that sharpens recovery of the large
+	// coefficients). 0 disables reweighting.
+	Reweights int
+	// PenalizeApprox also penalises the coarse approximation band; by
+	// default it is left unpenalised (its few coefficients carry the
+	// signal trend and are not sparse — standard practice in wavelet-CS).
+	PenalizeApprox bool
+	// Seed drives the power iteration for the Lipschitz estimate.
+	Seed int64
+}
+
+func (c SolverConfig) withDefaults() SolverConfig {
+	out := c
+	if out.Wavelet == nil {
+		out.Wavelet = wavelet.Daubechies8()
+	}
+	if out.Levels <= 0 {
+		out.Levels = 5
+	}
+	if out.Iters <= 0 {
+		out.Iters = 200
+	}
+	if out.LambdaRel <= 0 {
+		out.LambdaRel = 0.01
+	}
+	return out
+}
+
+// Decoder reconstructs windows from CS measurements. It is receiver-side
+// machinery (phones/servers in the paper's architecture) and therefore
+// uses floating point freely.
+//
+// A Decoder holds one sensing matrix per lead. With a single matrix all
+// leads share it (the cheapest node design); with per-lead matrices the
+// joint solver additionally benefits from measurement diversity across
+// channels, as each lead then observes the common support through a
+// different projection (the JSM-2 setting of the distributed-CS
+// literature underlying ref [6]).
+type Decoder struct {
+	phis    []Matrix
+	cfg     SolverConfig
+	lip     float64 // max ||Φ_l||² (orthonormal Ψ preserves operator norms)
+	n, m    int
+	weights []float64 // per-coefficient penalty weights (0 = unpenalised)
+}
+
+// NewDecoder builds a decoder in which every lead shares the one sensing
+// matrix.
+func NewDecoder(phi Matrix, cfg SolverConfig) (*Decoder, error) {
+	return NewJointDecoder([]Matrix{phi}, cfg)
+}
+
+// NewJointDecoder builds a decoder with one sensing matrix per lead. All
+// matrices must agree in dimensions. Leads beyond len(phis) reuse the
+// last matrix.
+func NewJointDecoder(phis []Matrix, cfg SolverConfig) (*Decoder, error) {
+	if len(phis) == 0 {
+		return nil, ErrSolver
+	}
+	c := cfg.withDefaults()
+	n, m := phis[0].Cols(), phis[0].Rows()
+	for _, p := range phis[1:] {
+		if p.Cols() != n || p.Rows() != m {
+			return nil, ErrSolver
+		}
+	}
+	if n%(1<<uint(c.Levels)) != 0 {
+		return nil, ErrSolver
+	}
+	rng := rand.New(rand.NewSource(c.Seed + 777))
+	lip := 0.0
+	for _, p := range phis {
+		if l := OperatorNorm(p, 30, rng); l > lip {
+			lip = l
+		}
+	}
+	if lip <= 0 {
+		return nil, ErrSolver
+	}
+	d := &Decoder{phis: phis, cfg: c, lip: lip * 1.02, n: n, m: m}
+	d.weights = make([]float64, n)
+	for i := range d.weights {
+		d.weights[i] = 1
+	}
+	if !c.PenalizeApprox {
+		alen := n >> uint(c.Levels)
+		for i := 0; i < alen; i++ {
+			d.weights[i] = 0
+		}
+	}
+	return d, nil
+}
+
+// matrixFor returns the sensing matrix used by lead l.
+func (d *Decoder) matrixFor(l int) Matrix {
+	if l < len(d.phis) {
+		return d.phis[l]
+	}
+	return d.phis[len(d.phis)-1]
+}
+
+// synth maps wavelet coefficients to the signal domain (x = Ψθ).
+func (d *Decoder) synth(theta []float64) []float64 {
+	x, err := d.cfg.Wavelet.Inverse(theta, d.cfg.Levels)
+	if err != nil {
+		panic("cs: internal synthesis error: " + err.Error())
+	}
+	return x
+}
+
+// analyze maps a signal to wavelet coefficients (θ = Ψᵀx).
+func (d *Decoder) analyze(x []float64) []float64 {
+	t, err := d.cfg.Wavelet.Forward(x, d.cfg.Levels)
+	if err != nil {
+		panic("cs: internal analysis error: " + err.Error())
+	}
+	return t
+}
+
+// gradient computes ∇f(θ) = Ψᵀ Φᵀ(Φ Ψ θ − y) for the given lead matrix.
+func (d *Decoder) gradient(phi Matrix, theta, y []float64) []float64 {
+	x := d.synth(theta)
+	ax := make([]float64, d.m)
+	phi.Apply(x, ax)
+	for i := range ax {
+		ax[i] -= y[i]
+	}
+	z := make([]float64, d.n)
+	phi.ApplyT(ax, z)
+	return d.analyze(z)
+}
+
+// softThreshold applies the ℓ1 proximal operator elementwise.
+func softThreshold(v, t float64) float64 {
+	switch {
+	case v > t:
+		return v - t
+	case v < -t:
+		return v + t
+	default:
+		return 0
+	}
+}
+
+// Reconstruct solves min_θ ½||ΦΨθ − y||² + λ||Wθ||₁ with FISTA and
+// returns x̂ = Ψθ̂, using lead 0's sensing matrix. λ is set relative to
+// ||ΨᵀΦᵀy||∞.
+func (d *Decoder) Reconstruct(y []float64) ([]float64, error) {
+	return d.reconstructWith(d.phis[0], y)
+}
+
+func (d *Decoder) reconstructWith(phi Matrix, y []float64) ([]float64, error) {
+	if len(y) != d.m {
+		return nil, ErrSolver
+	}
+	z := make([]float64, d.n)
+	phi.ApplyT(y, z)
+	aty := d.analyze(z)
+	maxAbs := 0.0
+	for _, v := range aty {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	lambda := d.cfg.LambdaRel * maxAbs
+	step := 1 / d.lip
+	theta := make([]float64, d.n)
+	prev := make([]float64, d.n)
+	mom := make([]float64, d.n)
+	rw := make([]float64, d.n)
+	for i := range rw {
+		rw[i] = 1
+	}
+	for pass := 0; pass <= d.cfg.Reweights; pass++ {
+		for i := range theta {
+			theta[i] = 0
+			prev[i] = 0
+			mom[i] = 0
+		}
+		tk := 1.0
+		for it := 0; it < d.cfg.Iters; it++ {
+			grad := d.gradient(phi, mom, y)
+			copy(prev, theta)
+			for i := range theta {
+				theta[i] = softThreshold(mom[i]-step*grad[i], step*lambda*d.weights[i]*rw[i])
+			}
+			tNext := (1 + math.Sqrt(1+4*tk*tk)) / 2
+			beta := (tk - 1) / tNext
+			for i := range mom {
+				mom[i] = theta[i] + beta*(theta[i]-prev[i])
+			}
+			tk = tNext
+		}
+		if pass == d.cfg.Reweights {
+			break
+		}
+		// Candès-Wakin-Boyd reweighting around the current estimate.
+		peak := 0.0
+		for _, v := range theta {
+			if a := math.Abs(v); a > peak {
+				peak = a
+			}
+		}
+		eps := 0.05*peak + 1e-12
+		for i := range rw {
+			rw[i] = eps / (math.Abs(theta[i]) + eps)
+		}
+	}
+	return d.synth(theta), nil
+}
+
+// ReconstructLeads reconstructs each lead independently — the
+// "Single-Lead CS" strategy of Figure 5 applied per lead. Lead l uses
+// its own sensing matrix when the decoder was built with per-lead
+// matrices.
+func (d *Decoder) ReconstructLeads(ys [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(ys))
+	for i, y := range ys {
+		x, err := d.reconstructWith(d.matrixFor(i), y)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+// ReconstructJoint solves the multi-lead problem of ref [6]: the leads
+// share sparsity structure, so the solver minimises
+//
+//	½ Σ_l ||Φ_l Ψθ_l − y_l||² + λ Σ_j w_j ||θ_{·j}||₂
+//
+// where the second term is the mixed ℓ2,1 norm grouping coefficient j
+// across all leads. The proximal step is group soft-thresholding, which
+// keeps a coefficient alive in every lead when the group's joint energy
+// is high — recovering weak-lead detail that independent ℓ1 loses.
+// Because the leads project the same dipole with very different gains,
+// each lead's measurements are normalised to unit RMS for the solve and
+// rescaled afterwards.
+func (d *Decoder) ReconstructJoint(ys [][]float64) ([][]float64, error) {
+	L := len(ys)
+	if L == 0 {
+		return nil, ErrSolver
+	}
+	for _, y := range ys {
+		if len(y) != d.m {
+			return nil, ErrSolver
+		}
+	}
+	gains := make([]float64, L)
+	ysn := make([][]float64, L)
+	for l, y := range ys {
+		rms := 0.0
+		for _, v := range y {
+			rms += v * v
+		}
+		rms = math.Sqrt(rms / float64(len(y)))
+		if rms == 0 {
+			rms = 1
+		}
+		gains[l] = rms
+		yn := make([]float64, len(y))
+		inv := 1 / rms
+		for i, v := range y {
+			yn[i] = v * inv
+		}
+		ysn[l] = yn
+	}
+	// λ from the group norms of the back-projected data.
+	groupMax := 0.0
+	atys := make([][]float64, L)
+	for l, y := range ysn {
+		z := make([]float64, d.n)
+		d.matrixFor(l).ApplyT(y, z)
+		atys[l] = d.analyze(z)
+	}
+	for j := 0; j < d.n; j++ {
+		g := 0.0
+		for l := 0; l < L; l++ {
+			g += atys[l][j] * atys[l][j]
+		}
+		if g > groupMax {
+			groupMax = g
+		}
+	}
+	lambda := d.cfg.LambdaRel * math.Sqrt(groupMax)
+	step := 1 / d.lip
+	theta := make([][]float64, L)
+	prev := make([][]float64, L)
+	mom := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		theta[l] = make([]float64, d.n)
+		prev[l] = make([]float64, d.n)
+		mom[l] = make([]float64, d.n)
+	}
+	grads := make([][]float64, L)
+	rw := make([]float64, d.n)
+	for j := range rw {
+		rw[j] = 1
+	}
+	for pass := 0; pass <= d.cfg.Reweights; pass++ {
+		for l := 0; l < L; l++ {
+			for i := range theta[l] {
+				theta[l][i] = 0
+				prev[l][i] = 0
+				mom[l][i] = 0
+			}
+		}
+		tk := 1.0
+		for it := 0; it < d.cfg.Iters; it++ {
+			for l := 0; l < L; l++ {
+				grads[l] = d.gradient(d.matrixFor(l), mom[l], ysn[l])
+			}
+			for l := 0; l < L; l++ {
+				copy(prev[l], theta[l])
+			}
+			// Group soft-threshold across leads at each coefficient index.
+			for j := 0; j < d.n; j++ {
+				norm := 0.0
+				for l := 0; l < L; l++ {
+					v := mom[l][j] - step*grads[l][j]
+					theta[l][j] = v // stash pre-threshold value
+					norm += v * v
+				}
+				th := step * lambda * d.weights[j] * rw[j]
+				if th == 0 {
+					continue
+				}
+				norm = math.Sqrt(norm)
+				if norm <= th {
+					for l := 0; l < L; l++ {
+						theta[l][j] = 0
+					}
+					continue
+				}
+				shrink := 1 - th/norm
+				for l := 0; l < L; l++ {
+					theta[l][j] *= shrink
+				}
+			}
+			tNext := (1 + math.Sqrt(1+4*tk*tk)) / 2
+			beta := (tk - 1) / tNext
+			for l := 0; l < L; l++ {
+				for i := range mom[l] {
+					mom[l][i] = theta[l][i] + beta*(theta[l][i]-prev[l][i])
+				}
+			}
+			tk = tNext
+		}
+		if pass == d.cfg.Reweights {
+			break
+		}
+		// Group-level reweighting around the current estimate.
+		norms := make([]float64, d.n)
+		peak := 0.0
+		for j := 0; j < d.n; j++ {
+			g := 0.0
+			for l := 0; l < L; l++ {
+				g += theta[l][j] * theta[l][j]
+			}
+			norms[j] = math.Sqrt(g)
+			if norms[j] > peak {
+				peak = norms[j]
+			}
+		}
+		eps := 0.05*peak + 1e-12
+		for j := range rw {
+			rw[j] = eps / (norms[j] + eps)
+		}
+	}
+	out := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		out[l] = d.synth(theta[l])
+		for i := range out[l] {
+			out[l][i] *= gains[l]
+		}
+	}
+	return out, nil
+}

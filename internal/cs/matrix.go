@@ -1,0 +1,231 @@
+// Package cs implements the compressed-sensing chain of Section III.A:
+// sparse-binary sensing matrices (ref [16]: "few non-zero elements in the
+// sensing matrix suffice to achieve close-to-optimal results ... while
+// minimizing the run-time workload"), the on-node encoder, and the two
+// reconstruction solvers evaluated in Figure 5 — independent single-lead
+// ℓ1 recovery (refs [4][16]) and joint multi-lead group-sparse (ℓ2,1)
+// recovery that exploits the shared sparsity structure across leads
+// (ref [6]).
+//
+// Conventions: signals are windows of n samples; the encoder computes
+// y = Φx with Φ an m×n matrix, m < n. The compression ratio follows the
+// paper's definition CR = 100·(n−m)/n, so larger CR means fewer
+// measurements. Reconstruction solves a basis-pursuit-denoising problem
+// over wavelet coefficients θ (x = Ψθ with Ψ an orthonormal Daubechies
+// synthesis operator from internal/wavelet).
+package cs
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Errors returned by matrix constructors and the encoder.
+var (
+	ErrDims    = errors.New("cs: invalid matrix dimensions")
+	ErrDensity = errors.New("cs: nonzeros per column must be in [1, m]")
+)
+
+// Matrix is a sensing operator Φ: it can apply itself and its transpose.
+type Matrix interface {
+	// Rows returns m, the number of measurements.
+	Rows() int
+	// Cols returns n, the signal window length.
+	Cols() int
+	// Apply computes y = Φx, writing into y (len m). x has len n.
+	Apply(x, y []float64)
+	// ApplyT computes z = Φᵀr, writing into z (len n). r has len m.
+	ApplyT(r, z []float64)
+}
+
+// SparseBinary is the sensing matrix of ref [16]: each column holds
+// exactly d entries of value 1/√d at uniformly-chosen rows. The encoder
+// then needs only d additions per input sample and no multiplications —
+// the property that makes CS encoding nearly free on the node (Figure 6's
+// tiny "Comp." share).
+type SparseBinary struct {
+	m, n int
+	d    int
+	// rowIdx[c] lists the d row indices of column c.
+	rowIdx [][]int
+	scale  float64
+}
+
+// NewSparseBinary builds an m×n sparse-binary sensing matrix with d
+// non-zeros per column, drawn from rng (deterministic per seed).
+func NewSparseBinary(m, n, d int, rng *rand.Rand) (*SparseBinary, error) {
+	if m <= 0 || n <= 0 || m > n {
+		return nil, ErrDims
+	}
+	if d < 1 || d > m {
+		return nil, ErrDensity
+	}
+	sb := &SparseBinary{m: m, n: n, d: d, rowIdx: make([][]int, n), scale: 1 / math.Sqrt(float64(d))}
+	perm := make([]int, m)
+	for c := 0; c < n; c++ {
+		// Sample d distinct rows by partial Fisher-Yates.
+		for i := range perm {
+			perm[i] = i
+		}
+		rows := make([]int, d)
+		for i := 0; i < d; i++ {
+			j := i + rng.Intn(m-i)
+			perm[i], perm[j] = perm[j], perm[i]
+			rows[i] = perm[i]
+		}
+		sb.rowIdx[c] = rows
+	}
+	return sb, nil
+}
+
+// Rows returns the number of measurements m.
+func (s *SparseBinary) Rows() int { return s.m }
+
+// Cols returns the window length n.
+func (s *SparseBinary) Cols() int { return s.n }
+
+// Density returns d, the non-zeros per column.
+func (s *SparseBinary) Density() int { return s.d }
+
+// Apply computes y = Φx.
+func (s *SparseBinary) Apply(x, y []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	for c, rows := range s.rowIdx {
+		v := x[c]
+		if v == 0 {
+			continue
+		}
+		for _, r := range rows {
+			y[r] += v
+		}
+	}
+	for i := range y {
+		y[i] *= s.scale
+	}
+}
+
+// ApplyT computes z = Φᵀr.
+func (s *SparseBinary) ApplyT(r, z []float64) {
+	for c, rows := range s.rowIdx {
+		acc := 0.0
+		for _, ri := range rows {
+			acc += r[ri]
+		}
+		z[c] = acc * s.scale
+	}
+}
+
+// AddsPerWindow returns the number of integer additions the on-node
+// encoder performs per window: d adds per input sample. This count feeds
+// the compression-energy model of Figure 6.
+func (s *SparseBinary) AddsPerWindow() int { return s.d * s.n }
+
+// Gaussian is a dense i.i.d. N(0, 1/m) sensing matrix, the classical CS
+// baseline against which the sparse-binary design is ablated.
+type Gaussian struct {
+	m, n int
+	a    []float64 // row-major m×n
+}
+
+// NewGaussian builds a dense Gaussian sensing matrix.
+func NewGaussian(m, n int, rng *rand.Rand) (*Gaussian, error) {
+	if m <= 0 || n <= 0 || m > n {
+		return nil, ErrDims
+	}
+	g := &Gaussian{m: m, n: n, a: make([]float64, m*n)}
+	sd := 1 / math.Sqrt(float64(m))
+	for i := range g.a {
+		g.a[i] = sd * rng.NormFloat64()
+	}
+	return g, nil
+}
+
+// Rows returns the number of measurements m.
+func (g *Gaussian) Rows() int { return g.m }
+
+// Cols returns the window length n.
+func (g *Gaussian) Cols() int { return g.n }
+
+// Apply computes y = Φx.
+func (g *Gaussian) Apply(x, y []float64) {
+	for i := 0; i < g.m; i++ {
+		row := g.a[i*g.n : (i+1)*g.n]
+		acc := 0.0
+		for j, v := range row {
+			acc += v * x[j]
+		}
+		y[i] = acc
+	}
+}
+
+// ApplyT computes z = Φᵀr.
+func (g *Gaussian) ApplyT(r, z []float64) {
+	for j := range z {
+		z[j] = 0
+	}
+	for i := 0; i < g.m; i++ {
+		ri := r[i]
+		if ri == 0 {
+			continue
+		}
+		row := g.a[i*g.n : (i+1)*g.n]
+		for j, v := range row {
+			z[j] += v * ri
+		}
+	}
+}
+
+// OperatorNorm estimates ||Φ||₂² (the largest squared singular value) by
+// power iteration; it upper-bounds the Lipschitz constant needed by the
+// FISTA solvers. iters of 30 is ample for these well-conditioned random
+// matrices.
+func OperatorNorm(phi Matrix, iters int, rng *rand.Rand) float64 {
+	n := phi.Cols()
+	m := phi.Rows()
+	x := make([]float64, n)
+	y := make([]float64, m)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	norm := 0.0
+	for it := 0; it < iters; it++ {
+		phi.Apply(x, y)
+		phi.ApplyT(y, x)
+		norm = 0
+		for _, v := range x {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return 0
+		}
+		inv := 1 / norm
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return norm // ||ΦᵀΦ|| = ||Φ||²
+}
+
+// MeasurementsForCR returns the measurement count m for a window of n
+// samples at compression ratio cr per the paper's definition
+// CR = 100(n−m)/n, clamped to [1, n].
+func MeasurementsForCR(n int, cr float64) int {
+	m := int(math.Round(float64(n) * (1 - cr/100)))
+	if m < 1 {
+		m = 1
+	}
+	if m > n {
+		m = n
+	}
+	return m
+}
+
+// CRForMeasurements returns the compression ratio achieved by m
+// measurements of an n-sample window.
+func CRForMeasurements(n, m int) float64 {
+	return 100 * float64(n-m) / float64(n)
+}

@@ -1,0 +1,197 @@
+package cs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSparseBinaryValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewSparseBinary(0, 10, 1, rng); err != ErrDims {
+		t.Error("m=0 should fail")
+	}
+	if _, err := NewSparseBinary(20, 10, 1, rng); err != ErrDims {
+		t.Error("m>n should fail")
+	}
+	if _, err := NewSparseBinary(10, 20, 0, rng); err != ErrDensity {
+		t.Error("d=0 should fail")
+	}
+	if _, err := NewSparseBinary(10, 20, 11, rng); err != ErrDensity {
+		t.Error("d>m should fail")
+	}
+}
+
+func TestSparseBinaryStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, n, d := 64, 128, 4
+	sb, err := NewSparseBinary(m, n, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Rows() != m || sb.Cols() != n || sb.Density() != d {
+		t.Error("dimensions not reported correctly")
+	}
+	for c, rows := range sb.rowIdx {
+		if len(rows) != d {
+			t.Fatalf("column %d has %d nonzeros, want %d", c, len(rows), d)
+		}
+		seen := map[int]bool{}
+		for _, r := range rows {
+			if r < 0 || r >= m {
+				t.Fatalf("column %d row index %d out of range", c, r)
+			}
+			if seen[r] {
+				t.Fatalf("column %d has duplicate row %d", c, r)
+			}
+			seen[r] = true
+		}
+	}
+	if sb.AddsPerWindow() != d*n {
+		t.Errorf("AddsPerWindow = %d, want %d", sb.AddsPerWindow(), d*n)
+	}
+}
+
+func TestSparseBinaryColumnNorm(t *testing.T) {
+	// Each column has d entries of 1/sqrt(d): unit column norm.
+	rng := rand.New(rand.NewSource(3))
+	sb, _ := NewSparseBinary(32, 64, 8, rng)
+	x := make([]float64, 64)
+	y := make([]float64, 32)
+	for c := 0; c < 64; c++ {
+		for i := range x {
+			x[i] = 0
+		}
+		x[c] = 1
+		sb.Apply(x, y)
+		norm := 0.0
+		for _, v := range y {
+			norm += v * v
+		}
+		if math.Abs(norm-1) > 1e-12 {
+			t.Fatalf("column %d norm² = %v, want 1", c, norm)
+		}
+	}
+}
+
+// Property: <Φx, r> == <x, Φᵀr> (adjoint consistency), for both matrix
+// types.
+func TestAdjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sb, _ := NewSparseBinary(40, 100, 6, rng)
+	ga, _ := NewGaussian(40, 100, rng)
+	mats := []Matrix{sb, ga}
+	f := func(seed int64) bool {
+		r1 := rand.New(rand.NewSource(seed))
+		x := make([]float64, 100)
+		r := make([]float64, 40)
+		for i := range x {
+			x[i] = r1.NormFloat64()
+		}
+		for i := range r {
+			r[i] = r1.NormFloat64()
+		}
+		for _, mat := range mats {
+			y := make([]float64, 40)
+			z := make([]float64, 100)
+			mat.Apply(x, y)
+			mat.ApplyT(r, z)
+			var lhs, rhs float64
+			for i := range y {
+				lhs += y[i] * r[i]
+			}
+			for i := range x {
+				rhs += x[i] * z[i]
+			}
+			if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGaussianValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := NewGaussian(0, 5, rng); err != ErrDims {
+		t.Error("m=0 should fail")
+	}
+	if _, err := NewGaussian(10, 5, rng); err != ErrDims {
+		t.Error("m>n should fail")
+	}
+	g, err := NewGaussian(20, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows() != 20 || g.Cols() != 50 {
+		t.Error("Gaussian dims wrong")
+	}
+}
+
+func TestOperatorNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Sparse binary with unit columns: ||Φ||² is near n/m * d-ish; just
+	// sanity-check it's finite, positive, and an upper bound validated by
+	// random vectors.
+	sb, _ := NewSparseBinary(64, 256, 4, rng)
+	lip := OperatorNorm(sb, 40, rng)
+	if lip <= 0 || math.IsNaN(lip) {
+		t.Fatalf("OperatorNorm = %v", lip)
+	}
+	for trial := 0; trial < 20; trial++ {
+		x := make([]float64, 256)
+		var nx float64
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			nx += x[i] * x[i]
+		}
+		y := make([]float64, 64)
+		sb.Apply(x, y)
+		var ny float64
+		for _, v := range y {
+			ny += v * v
+		}
+		if ny > lip*nx*1.01 {
+			t.Fatalf("||Φx||²=%v exceeds estimated bound %v·||x||²", ny, lip*nx)
+		}
+	}
+}
+
+func TestMeasurementsForCR(t *testing.T) {
+	if m := MeasurementsForCR(512, 50); m != 256 {
+		t.Errorf("CR 50 of 512 = %d, want 256", m)
+	}
+	if m := MeasurementsForCR(512, 0); m != 512 {
+		t.Errorf("CR 0 = %d, want 512", m)
+	}
+	if m := MeasurementsForCR(512, 100); m != 1 {
+		t.Errorf("CR 100 = %d, want 1 (clamped)", m)
+	}
+	if cr := CRForMeasurements(512, 256); cr != 50 {
+		t.Errorf("CRForMeasurements = %v", cr)
+	}
+	// Round trip within rounding error.
+	for _, cr := range []float64{10, 33.3, 65.9, 72.7, 90} {
+		m := MeasurementsForCR(512, cr)
+		back := CRForMeasurements(512, m)
+		if math.Abs(back-cr) > 100.0/512 {
+			t.Errorf("CR %v -> m=%d -> %v", cr, m, back)
+		}
+	}
+}
+
+func TestSparseBinaryDeterministic(t *testing.T) {
+	a, _ := NewSparseBinary(32, 64, 4, rand.New(rand.NewSource(9)))
+	b, _ := NewSparseBinary(32, 64, 4, rand.New(rand.NewSource(9)))
+	for c := range a.rowIdx {
+		for i := range a.rowIdx[c] {
+			if a.rowIdx[c][i] != b.rowIdx[c][i] {
+				t.Fatal("same seed gave different matrices")
+			}
+		}
+	}
+}

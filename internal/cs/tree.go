@@ -1,0 +1,216 @@
+package cs
+
+import (
+	"math"
+
+	"wbsn/internal/wavelet"
+)
+
+// This file implements the connected-tree recovery model of ref [17]
+// (Duarte, Wakin, Baraniuk, SPARS'05), which Section IV.A describes:
+// "wavelet coefficients are naturally organized into a tree structure,
+// and the largest coefficients cluster along the branches of this tree.
+// A CS reconstruction algorithm based on the connected tree model has
+// been proposed in [17]."
+//
+// TreeIHT is a model-based iterative hard thresholding: the gradient
+// step is followed by a projection onto rooted-connected-tree supports —
+// a child detail coefficient survives only if its parent at the next
+// coarser scale survives — which encodes the persistence of ECG wave
+// edges across scales.
+
+// treeStructure precomputes the parent index of every pyramid-ordered
+// coefficient (approximation coefficients are roots with parent -1).
+func treeStructure(n, levels int) ([]int, error) {
+	slices, err := wavelet.LevelSlices(n, levels)
+	if err != nil {
+		return nil, err
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	// slices[0] is the approximation band; slices[1] the coarsest detail
+	// band d_L, then d_{L-1}, ..., d_1. A detail coefficient's parent is
+	// the coefficient at half its in-band offset in the next coarser
+	// band; the coarsest details attach to the approximation band.
+	for si := 2; si < len(slices); si++ {
+		child := slices[si]
+		par := slices[si-1]
+		for i := child[0]; i < child[1]; i++ {
+			off := i - child[0]
+			parent[i] = par[0] + off/2
+		}
+	}
+	if len(slices) > 1 {
+		d := slices[1]
+		a := slices[0]
+		for i := d[0]; i < d[1]; i++ {
+			parent[i] = a[0] + (i - d[0])
+		}
+	}
+	return parent, nil
+}
+
+// projectTree keeps the approximation band plus the best k detail
+// coefficients subject to the rooted-tree constraint, zeroing the rest
+// of theta in place. Selection is iterative greedy: at each step the
+// largest-magnitude coefficient whose parent is already kept joins the
+// support — the standard greedy approximation of the (harder) exact
+// tree projection used in model-based CS practice.
+func projectTree(theta []float64, parent []int, alen, k int) {
+	n := len(theta)
+	kept := make([]bool, n)
+	for i := 0; i < alen; i++ {
+		kept[i] = true // roots always survive
+	}
+	if k >= n-alen {
+		return // everything admissible fits
+	}
+	for budget := k; budget > 0; budget-- {
+		best, bestMag := -1, 0.0
+		for i := alen; i < n; i++ {
+			if kept[i] || !kept[parent[i]] {
+				continue
+			}
+			if m := math.Abs(theta[i]); m > bestMag {
+				bestMag, best = m, i
+			}
+		}
+		if best < 0 || bestMag == 0 {
+			break
+		}
+		kept[best] = true
+	}
+	for i := alen; i < n; i++ {
+		if !kept[i] {
+			theta[i] = 0
+		}
+	}
+}
+
+// quickSelect returns the k-th largest value of xs (destructive).
+func quickSelect(xs []float64, k int) float64 {
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	if k > len(xs) {
+		return math.Inf(-1)
+	}
+	lo, hi := 0, len(xs)-1
+	target := k - 1 // index in descending order
+	for {
+		if lo >= hi {
+			return xs[lo]
+		}
+		pivot := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] > pivot {
+				i++
+			}
+			for xs[j] < pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if target <= j {
+			hi = j
+		} else if target >= i {
+			lo = i
+		} else {
+			return xs[target]
+		}
+	}
+}
+
+// TreeIHT reconstructs a window from measurements with model-based
+// iterative hard thresholding over the rooted wavelet tree: k is the
+// detail-coefficient budget (the approximation band is always kept).
+// The step size is 1/L with L the decoder's Lipschitz estimate.
+func (d *Decoder) TreeIHT(y []float64, k, iters int) ([]float64, error) {
+	if len(y) != d.m {
+		return nil, ErrSolver
+	}
+	if k <= 0 || iters <= 0 {
+		return nil, ErrSolver
+	}
+	parent, err := treeStructure(d.n, d.cfg.Levels)
+	if err != nil {
+		return nil, err
+	}
+	alen := d.n >> uint(d.cfg.Levels)
+	phi := d.phis[0]
+	theta := make([]float64, d.n)
+	for it := 0; it < iters; it++ {
+		grad := d.gradient(phi, theta, y)
+		// Normalized-IHT step (Blumensath-Davies): the optimal step for
+		// the gradient restricted to the current support,
+		// ||g_S||² / ||A g_S||², which keeps the iteration stable without
+		// a global Lipschitz bound. On the first iteration (empty
+		// support) the unrestricted gradient is used.
+		gS := make([]float64, d.n)
+		restricted := false
+		for i := range theta {
+			if theta[i] != 0 || i < alen {
+				gS[i] = grad[i]
+				restricted = true
+			}
+		}
+		if !restricted {
+			copy(gS, grad)
+		}
+		ag := make([]float64, d.m)
+		phi.Apply(d.synth(gS), ag)
+		var num, den float64
+		for _, v := range gS {
+			num += v * v
+		}
+		for _, v := range ag {
+			den += v * v
+		}
+		step := 1 / d.lip
+		if den > 0 && num > 0 {
+			step = num / den
+		}
+		for i := range theta {
+			theta[i] -= step * grad[i]
+		}
+		projectTree(theta, parent, alen, k)
+	}
+	// Debias: least squares restricted to the final support (gradient
+	// descent with the NIHT step keeps it matrix-free).
+	support := make([]bool, d.n)
+	for i := range theta {
+		support[i] = theta[i] != 0 || i < alen
+	}
+	for it := 0; it < 60; it++ {
+		grad := d.gradient(phi, theta, y)
+		for i := range grad {
+			if !support[i] {
+				grad[i] = 0
+			}
+		}
+		ag := make([]float64, d.m)
+		phi.Apply(d.synth(grad), ag)
+		var num, den float64
+		for _, v := range grad {
+			num += v * v
+		}
+		for _, v := range ag {
+			den += v * v
+		}
+		if den == 0 || num == 0 {
+			break
+		}
+		step := num / den
+		for i := range theta {
+			theta[i] -= step * grad[i]
+		}
+	}
+	return d.synth(theta), nil
+}

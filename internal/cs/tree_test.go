@@ -1,0 +1,155 @@
+package cs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wbsn/internal/dsp"
+	"wbsn/internal/wavelet"
+)
+
+func TestTreeStructure(t *testing.T) {
+	parent, err := treeStructure(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: approx [0,8), d3 [8,16), d2 [16,32), d1 [32,64).
+	for i := 0; i < 8; i++ {
+		if parent[i] != -1 {
+			t.Errorf("approx coefficient %d has parent %d", i, parent[i])
+		}
+	}
+	// d3 attaches one-to-one to the approximation band.
+	for i := 8; i < 16; i++ {
+		if parent[i] != i-8 {
+			t.Errorf("d3[%d] parent = %d, want %d", i, parent[i], i-8)
+		}
+	}
+	// d2[k] -> d3[k/2].
+	for i := 16; i < 32; i++ {
+		want := 8 + (i-16)/2
+		if parent[i] != want {
+			t.Errorf("d2[%d] parent = %d, want %d", i, parent[i], want)
+		}
+	}
+	// d1[k] -> d2[k/2].
+	for i := 32; i < 64; i++ {
+		want := 16 + (i-32)/2
+		if parent[i] != want {
+			t.Errorf("d1[%d] parent = %d, want %d", i, parent[i], want)
+		}
+	}
+	if _, err := treeStructure(100, 3); err == nil {
+		t.Error("bad length should fail")
+	}
+}
+
+func TestProjectTreeRespectsStructure(t *testing.T) {
+	n, levels := 64, 3
+	parent, _ := treeStructure(n, levels)
+	alen := n >> uint(levels)
+	theta := make([]float64, n)
+	// A child with a huge value whose parent chain is zero: the parent
+	// has magnitude 0, so under a tight budget the child must be dropped
+	// unless its parent is kept first.
+	theta[40] = 100 // d1 band, parent 16+(40-32)/2 = 20, grandparent 8+(20-16)/2=10
+	projectTree(theta, parent, alen, 1)
+	if theta[40] != 0 {
+		t.Error("orphan child with zero parent should be dropped at budget 1")
+	}
+	// With parent and grandparent carrying weight, the chain survives.
+	theta = make([]float64, n)
+	theta[10] = 5 // d3
+	theta[20] = 4 // d2, parent 10
+	theta[40] = 3 // d1, parent 20
+	projectTree(theta, parent, alen, 3)
+	if theta[10] == 0 || theta[20] == 0 || theta[40] == 0 {
+		t.Errorf("connected chain should survive: %v %v %v", theta[10], theta[20], theta[40])
+	}
+}
+
+func TestTreeIHTReconstructsTreeSparseSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n, levels := 256, 4
+	w := wavelet.Daubechies8()
+	parent, _ := treeStructure(n, levels)
+	alen := n >> uint(levels)
+	// Build a tree-sparse coefficient vector: a few rooted chains.
+	theta := make([]float64, n)
+	for i := 0; i < alen; i++ {
+		theta[i] = rng.NormFloat64()
+	}
+	// Three chains down from d4.
+	detail := 0
+	for c := 0; c < 3; c++ {
+		i := alen + rng.Intn(alen) // coarsest detail band
+		for i >= 0 && i < n {
+			if theta[i] == 0 {
+				theta[i] = 2 * rng.NormFloat64()
+				detail++
+			}
+			// Descend to a child: find some j with parent[j] == i.
+			child := -1
+			for j := alen; j < n; j++ {
+				if parent[j] == i && theta[j] == 0 {
+					child = j
+					break
+				}
+			}
+			i = child
+		}
+	}
+	x, err := w.Inverse(theta, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 100
+	phi, _ := NewGaussian(m, n, rng)
+	enc := NewEncoder(phi)
+	dec, err := NewDecoder(phi, SolverConfig{Levels: levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xhat, err := dec.TreeIHT(enc.Encode(x), detail+10, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr := dsp.SNRdB(x, xhat); snr < 15 {
+		t.Errorf("TreeIHT on tree-sparse signal: %.1f dB, want >= 15", snr)
+	}
+}
+
+func TestTreeIHTValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	phi, _ := NewSparseBinary(64, 256, 4, rng)
+	dec, _ := NewDecoder(phi, SolverConfig{})
+	if _, err := dec.TreeIHT(make([]float64, 10), 5, 10); err != ErrSolver {
+		t.Error("bad measurement length should fail")
+	}
+	if _, err := dec.TreeIHT(make([]float64, 64), 0, 10); err != ErrSolver {
+		t.Error("zero budget should fail")
+	}
+	if _, err := dec.TreeIHT(make([]float64, 64), 5, 0); err != ErrSolver {
+		t.Error("zero iterations should fail")
+	}
+}
+
+func TestQuickSelect(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7}
+	if v := quickSelect(append([]float64(nil), xs...), 1); v != 9 {
+		t.Errorf("1st largest = %v", v)
+	}
+	if v := quickSelect(append([]float64(nil), xs...), 3); v != 5 {
+		t.Errorf("3rd largest = %v", v)
+	}
+	if v := quickSelect(append([]float64(nil), xs...), 5); v != 1 {
+		t.Errorf("5th largest = %v", v)
+	}
+	if !math.IsInf(quickSelect(xs, 0), 1) {
+		t.Error("k=0 should be +Inf")
+	}
+	if !math.IsInf(quickSelect(xs, 9), -1) {
+		t.Error("k>len should be -Inf")
+	}
+}

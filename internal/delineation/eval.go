@@ -1,0 +1,207 @@
+package delineation
+
+import (
+	"fmt"
+	"math"
+
+	"wbsn/internal/ecg"
+)
+
+// This file scores a delineator against a record's ground truth. The
+// paper (Section V) reports that "the measured sensitivity and
+// specificity of retrieved fiducial points are above 90% in all cases,
+// which is at the target level for medical use". Following the
+// delineation-evaluation convention (CSE/Martínez), a detected fiducial
+// matches a true one when it falls within a tolerance window; Se counts
+// matched truths, PPV (reported as "specificity" in this literature)
+// counts matched detections.
+
+// Tolerances holds the per-fiducial matching tolerances in milliseconds.
+type Tolerances struct {
+	RPeak, QRSBound float64
+	PPeak, PBound   float64
+	TPeak, TBound   float64
+}
+
+// DefaultTolerances returns the CSE-style tolerance set used in the
+// embedded-delineation literature.
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		RPeak: 40, QRSBound: 50,
+		PPeak: 60, PBound: 70,
+		TPeak: 70, TBound: 80,
+	}
+}
+
+// PointScore accumulates matching statistics for one fiducial type.
+type PointScore struct {
+	TP, FP, FN int
+	// ErrSumMs accumulates |detected - truth| in ms over matches, for the
+	// mean absolute error.
+	ErrSumMs float64
+}
+
+// Se returns the sensitivity TP/(TP+FN), or NaN with no truths.
+func (s PointScore) Se() float64 {
+	if s.TP+s.FN == 0 {
+		return math.NaN()
+	}
+	return float64(s.TP) / float64(s.TP+s.FN)
+}
+
+// PPV returns the positive predictive value TP/(TP+FP), or NaN with no
+// detections.
+func (s PointScore) PPV() float64 {
+	if s.TP+s.FP == 0 {
+		return math.NaN()
+	}
+	return float64(s.TP) / float64(s.TP+s.FP)
+}
+
+// MeanErrMs returns the mean absolute timing error over matches.
+func (s PointScore) MeanErrMs() float64 {
+	if s.TP == 0 {
+		return math.NaN()
+	}
+	return s.ErrSumMs / float64(s.TP)
+}
+
+// Report aggregates the per-fiducial scores of one evaluation.
+type Report struct {
+	R, QRSOn, QRSOff PointScore
+	POn, PPeak, POff PointScore
+	TOn, TPeak, TOff PointScore
+}
+
+// String renders the report as the table printed by cmd/delineate.
+func (r Report) String() string {
+	row := func(name string, s PointScore) string {
+		return fmt.Sprintf("%-7s Se=%5.1f%%  PPV=%5.1f%%  err=%5.1f ms  (TP=%d FP=%d FN=%d)\n",
+			name, 100*s.Se(), 100*s.PPV(), s.MeanErrMs(), s.TP, s.FP, s.FN)
+	}
+	out := row("R", r.R)
+	out += row("QRSon", r.QRSOn) + row("QRSoff", r.QRSOff)
+	out += row("Pon", r.POn) + row("Ppeak", r.PPeak) + row("Poff", r.POff)
+	out += row("Ton", r.TOn) + row("Tpeak", r.TPeak) + row("Toff", r.TOff)
+	return out
+}
+
+// AllAbove reports whether every defined Se and PPV in the report clears
+// the threshold (NaN entries — waves absent from both truth and
+// detection — are skipped).
+func (r Report) AllAbove(thr float64) bool {
+	ok := true
+	for _, s := range []PointScore{r.R, r.QRSOn, r.QRSOff, r.POn, r.PPeak, r.POff, r.TOn, r.TPeak, r.TOff} {
+		if se := s.Se(); !math.IsNaN(se) && se < thr {
+			ok = false
+		}
+		if ppv := s.PPV(); !math.IsNaN(ppv) && ppv < thr {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// matchState pairs each truth index with at most one detection, greedily
+// in temporal order.
+func scorePoints(truth, detected []int, tolSamples int, fs float64, sc *PointScore) {
+	used := make([]bool, len(detected))
+	for _, tr := range truth {
+		best, bestDist := -1, tolSamples+1
+		for di, de := range detected {
+			if used[di] {
+				continue
+			}
+			dist := de - tr
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist <= tolSamples && dist < bestDist {
+				best, bestDist = di, dist
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			sc.TP++
+			sc.ErrSumMs += float64(bestDist) / fs * 1000
+		} else {
+			sc.FN++
+		}
+	}
+	for _, u := range used {
+		if !u {
+			sc.FP++
+		}
+	}
+}
+
+// Evaluate scores detected beats against the record's ground truth.
+func Evaluate(rec *ecg.Record, beats []BeatFiducials, tol Tolerances) Report {
+	fs := rec.Fs
+	toSamp := func(ms float64) int { return int(ms * fs / 1000) }
+	collect := func(get func(ecg.Fiducials) int) []int {
+		var out []int
+		for _, b := range rec.Beats {
+			if v := get(b.Fid); v >= 0 {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	collectDet := func(get func(BeatFiducials) int) []int {
+		var out []int
+		for _, b := range beats {
+			if v := get(b); v >= 0 {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	var rep Report
+	scorePoints(collect(func(f ecg.Fiducials) int { return f.RPeak }),
+		collectDet(func(b BeatFiducials) int { return b.R }),
+		toSamp(tol.RPeak), fs, &rep.R)
+	scorePoints(collect(func(f ecg.Fiducials) int { return f.QRSOn }),
+		collectDet(func(b BeatFiducials) int { return b.QRS.On }),
+		toSamp(tol.QRSBound), fs, &rep.QRSOn)
+	scorePoints(collect(func(f ecg.Fiducials) int { return f.QRSOff }),
+		collectDet(func(b BeatFiducials) int { return b.QRS.Off }),
+		toSamp(tol.QRSBound), fs, &rep.QRSOff)
+	scorePoints(collect(func(f ecg.Fiducials) int { return f.POn }),
+		collectDet(func(b BeatFiducials) int { return b.P.On }),
+		toSamp(tol.PBound), fs, &rep.POn)
+	scorePoints(collect(func(f ecg.Fiducials) int { return f.PPeak }),
+		collectDet(func(b BeatFiducials) int { return b.P.Peak }),
+		toSamp(tol.PPeak), fs, &rep.PPeak)
+	scorePoints(collect(func(f ecg.Fiducials) int { return f.POff }),
+		collectDet(func(b BeatFiducials) int { return b.P.Off }),
+		toSamp(tol.PBound), fs, &rep.POff)
+	scorePoints(collect(func(f ecg.Fiducials) int { return f.TOn }),
+		collectDet(func(b BeatFiducials) int { return b.T.On }),
+		toSamp(tol.TBound), fs, &rep.TOn)
+	scorePoints(collect(func(f ecg.Fiducials) int { return f.TPeak }),
+		collectDet(func(b BeatFiducials) int { return b.T.Peak }),
+		toSamp(tol.TPeak), fs, &rep.TPeak)
+	scorePoints(collect(func(f ecg.Fiducials) int { return f.TOff }),
+		collectDet(func(b BeatFiducials) int { return b.T.Off }),
+		toSamp(tol.TBound), fs, &rep.TOff)
+	return rep
+}
+
+// Merge combines two reports by summing their counters.
+func Merge(a, b Report) Report {
+	add := func(x, y PointScore) PointScore {
+		return PointScore{TP: x.TP + y.TP, FP: x.FP + y.FP, FN: x.FN + y.FN, ErrSumMs: x.ErrSumMs + y.ErrSumMs}
+	}
+	return Report{
+		R:      add(a.R, b.R),
+		QRSOn:  add(a.QRSOn, b.QRSOn),
+		QRSOff: add(a.QRSOff, b.QRSOff),
+		POn:    add(a.POn, b.POn),
+		PPeak:  add(a.PPeak, b.PPeak),
+		POff:   add(a.POff, b.POff),
+		TOn:    add(a.TOn, b.TOn),
+		TPeak:  add(a.TPeak, b.TPeak),
+		TOff:   add(a.TOff, b.TOff),
+	}
+}

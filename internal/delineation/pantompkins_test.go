@@ -1,0 +1,95 @@
+package delineation
+
+import (
+	"testing"
+
+	"wbsn/internal/dsp"
+	"wbsn/internal/ecg"
+)
+
+func scoreQRS(t *testing.T, rec *ecg.Record, detected []int, tolMs float64) (se, ppv float64) {
+	t.Helper()
+	var sc PointScore
+	tol := int(tolMs * rec.Fs / 1000)
+	truth := rec.RPeaks()
+	scorePoints(truth, detected, tol, rec.Fs, &sc)
+	return sc.Se(), sc.PPV()
+}
+
+func TestPanTompkinsValidation(t *testing.T) {
+	if _, err := NewPanTompkins(Config{}); err != ErrConfig {
+		t.Error("missing Fs should fail")
+	}
+	pt, err := NewPanTompkins(Config{Fs: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.DetectQRS(make([]float64, 10)); got != nil {
+		t.Error("short signal should give no peaks")
+	}
+}
+
+func TestPanTompkinsCleanAccuracy(t *testing.T) {
+	pt, _ := NewPanTompkins(Config{Fs: 256})
+	rec := ecg.Generate(ecg.Config{Seed: 1, Duration: 60})
+	peaks := pt.DetectQRS(dsp.CombineRMS(rec.Clean))
+	se, ppv := scoreQRS(t, rec, peaks, 50)
+	if se < 0.98 || ppv < 0.98 {
+		t.Errorf("Pan-Tompkins clean: Se=%.3f PPV=%.3f", se, ppv)
+	}
+}
+
+func TestPanTompkinsNoisyAccuracy(t *testing.T) {
+	pt, _ := NewPanTompkins(Config{Fs: 256})
+	rec := ecg.Generate(ecg.Config{Seed: 2, Duration: 60, Noise: ecg.AmbulatoryNoise()})
+	peaks := pt.DetectQRS(dsp.CombineRMS(rec.Leads))
+	se, ppv := scoreQRS(t, rec, peaks, 50)
+	if se < 0.90 || ppv < 0.90 {
+		t.Errorf("Pan-Tompkins ambulatory: Se=%.3f PPV=%.3f", se, ppv)
+	}
+}
+
+func TestPanTompkinsIrregularRhythm(t *testing.T) {
+	// Search-back must keep up with AF's irregular RR.
+	pt, _ := NewPanTompkins(Config{Fs: 256})
+	rec := ecg.Generate(ecg.Config{Seed: 3, Duration: 60, Rhythm: ecg.RhythmConfig{Kind: ecg.RhythmAF}})
+	peaks := pt.DetectQRS(dsp.CombineRMS(rec.Clean))
+	se, ppv := scoreQRS(t, rec, peaks, 50)
+	if se < 0.95 || ppv < 0.95 {
+		t.Errorf("Pan-Tompkins AF: Se=%.3f PPV=%.3f", se, ppv)
+	}
+}
+
+// The ref [11] comparison: both QRS stages (wavelet and Pan-Tompkins)
+// must be clinically usable; the wavelet stage should be at least as
+// good while also providing wave boundaries.
+func TestComparativeQRSEvaluation(t *testing.T) {
+	wd, _ := NewWaveletDelineator(Config{Fs: 256})
+	pt, _ := NewPanTompkins(Config{Fs: 256})
+	var seW, seP, n float64
+	for seed := int64(10); seed < 13; seed++ {
+		rec := ecg.Generate(ecg.Config{Seed: seed, Duration: 40, Noise: ecg.NoiseConfig{EMG: 0.04}})
+		combined := dsp.CombineRMS(rec.Leads)
+		beats, err := wd.Delineate(combined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rw []int
+		for _, b := range beats {
+			rw = append(rw, b.R)
+		}
+		sw, _ := scoreQRS(t, rec, rw, 50)
+		sp, _ := scoreQRS(t, rec, pt.DetectQRS(combined), 50)
+		seW += sw
+		seP += sp
+		n++
+	}
+	seW /= n
+	seP /= n
+	if seP < 0.9 {
+		t.Errorf("Pan-Tompkins baseline Se=%.3f below usability", seP)
+	}
+	if seW < seP-0.02 {
+		t.Errorf("wavelet QRS stage (%.3f) should not trail the baseline (%.3f)", seW, seP)
+	}
+}

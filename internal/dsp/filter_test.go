@@ -1,0 +1,261 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func sine(f, fs float64, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f * float64(i) / fs)
+	}
+	return x
+}
+
+func TestNewFIRRejectsEmpty(t *testing.T) {
+	if _, err := NewFIR(nil); err == nil {
+		t.Error("NewFIR(nil) should fail")
+	}
+}
+
+func TestFIRIdentity(t *testing.T) {
+	f, err := NewFIR([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 2, 3, -4, 5}
+	y := f.Apply(x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Errorf("identity FIR altered sample %d: %v != %v", i, y[i], x[i])
+		}
+	}
+}
+
+func TestFIRDelay(t *testing.T) {
+	// h = [0, 1] delays by one sample.
+	f, _ := NewFIR([]float64{0, 1})
+	x := []float64{1, 2, 3, 4}
+	y := f.Apply(x)
+	want := []float64{0, 1, 2, 3}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("delay FIR[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestFIRMatchesConvolution(t *testing.T) {
+	taps := []float64{0.25, 0.5, 0.25}
+	f, _ := NewFIR(taps)
+	x := []float64{1, -1, 2, 0, 3, -2, 1}
+	y := f.Apply(x)
+	full := Convolve(x, taps)
+	for i := range y {
+		if math.Abs(y[i]-full[i]) > 1e-12 {
+			t.Errorf("FIR vs Convolve mismatch at %d: %v vs %v", i, y[i], full[i])
+		}
+	}
+}
+
+func TestFIRTapsCopy(t *testing.T) {
+	taps := []float64{1, 2}
+	f, _ := NewFIR(taps)
+	got := f.Taps()
+	got[0] = 99
+	if f.Taps()[0] != 1 {
+		t.Error("Taps must return a copy")
+	}
+}
+
+func TestButterworthLowpassAttenuation(t *testing.T) {
+	fs := 256.0
+	lp, err := Butterworth2Lowpass(10, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pass-band tone.
+	low := lp.Apply(sine(2, fs, 2048))
+	// Stop-band tone.
+	high := lp.Apply(sine(80, fs, 2048))
+	rl, rh := RMS(low[512:]), RMS(high[512:])
+	if rl < 0.6 {
+		t.Errorf("2 Hz tone attenuated too much by 10 Hz LP: RMS %v", rl)
+	}
+	if rh > 0.05 {
+		t.Errorf("80 Hz tone not attenuated by 10 Hz LP: RMS %v", rh)
+	}
+}
+
+func TestButterworthHighpassAttenuation(t *testing.T) {
+	fs := 256.0
+	hp, err := Butterworth2Highpass(5, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := hp.Apply(sine(0.3, fs, 4096))
+	high := hp.Apply(sine(30, fs, 4096))
+	if RMS(low[1024:]) > 0.05 {
+		t.Errorf("0.3 Hz tone not attenuated by 5 Hz HP: RMS %v", RMS(low[1024:]))
+	}
+	if RMS(high[1024:]) < 0.6 {
+		t.Errorf("30 Hz tone attenuated too much by 5 Hz HP: RMS %v", RMS(high[1024:]))
+	}
+}
+
+func TestNotchFilter(t *testing.T) {
+	fs := 256.0
+	nf, err := NotchFilter(50, 30, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at50 := nf.Apply(sine(50, fs, 8192))
+	at20 := nf.Apply(sine(20, fs, 8192))
+	if RMS(at50[4096:]) > 0.05 {
+		t.Errorf("50 Hz tone survives notch: RMS %v", RMS(at50[4096:]))
+	}
+	if RMS(at20[4096:]) < 0.6 {
+		t.Errorf("20 Hz tone damaged by 50 Hz notch: RMS %v", RMS(at20[4096:]))
+	}
+}
+
+func TestFilterDesignRejectsBadParams(t *testing.T) {
+	if _, err := Butterworth2Lowpass(200, 256); err == nil {
+		t.Error("fc above Nyquist should fail")
+	}
+	if _, err := Butterworth2Highpass(-1, 256); err == nil {
+		t.Error("negative fc should fail")
+	}
+	if _, err := NotchFilter(50, 0, 256); err == nil {
+		t.Error("zero Q should fail")
+	}
+	if _, err := NewBiquad([3]float64{1, 0, 0}, [3]float64{0, 1, 0}); err == nil {
+		t.Error("zero a0 should fail")
+	}
+}
+
+func TestBandpassECGRemovesBaselineAndHF(t *testing.T) {
+	fs := 256.0
+	ch, err := BandpassECG(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := ch.Apply(sine(0.1, fs, 8192))
+	mid := ch.Apply(sine(10, fs, 8192))
+	hf := ch.Apply(sine(100, fs, 8192))
+	if RMS(baseline[4096:]) > 0.1 {
+		t.Errorf("baseline wander survives band-pass: %v", RMS(baseline[4096:]))
+	}
+	if RMS(mid[4096:]) < 0.5 {
+		t.Errorf("10 Hz (QRS band) attenuated: %v", RMS(mid[4096:]))
+	}
+	if RMS(hf[4096:]) > 0.15 {
+		t.Errorf("100 Hz noise survives band-pass: %v", RMS(hf[4096:]))
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	m, err := NewMovingAverage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{m.Step(3), m.Step(6), m.Step(9), m.Step(0)}
+	want := []float64{3, 4.5, 6, 5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("MA[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := NewMovingAverage(0); err == nil {
+		t.Error("NewMovingAverage(0) should fail")
+	}
+	m.Reset()
+	if m.Step(10) != 10 {
+		t.Error("Reset did not clear MA state")
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	y := Convolve([]float64{1, 2, 3}, []float64{1, 1})
+	want := []float64{1, 3, 5, 3}
+	if len(y) != len(want) {
+		t.Fatalf("Convolve length %d, want %d", len(y), len(want))
+	}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("Convolve[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	if Convolve(nil, []float64{1}) != nil {
+		t.Error("Convolve with empty input should return nil")
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5, 6}
+	got := Decimate(x, 3)
+	want := []float64{0, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Decimate length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Decimate[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if Decimate(x, 0) != nil {
+		t.Error("Decimate with k=0 should return nil")
+	}
+}
+
+func TestResampleLinear(t *testing.T) {
+	// Upsampling a ramp stays a ramp.
+	x := []float64{0, 1, 2, 3}
+	y := ResampleLinear(x, 100, 200)
+	for i := 0; i < len(y)-2; i++ {
+		d := y[i+1] - y[i]
+		if math.Abs(d-0.5) > 1e-9 {
+			t.Errorf("resampled ramp step at %d = %v, want 0.5", i, d)
+		}
+	}
+	// Preserves a tone's RMS approximately.
+	fs := 256.0
+	tone := sine(5, fs, 1024)
+	up := ResampleLinear(tone, fs, 512)
+	if math.Abs(RMS(up)-RMS(tone)) > 0.02 {
+		t.Errorf("resampling changed RMS: %v vs %v", RMS(up), RMS(tone))
+	}
+	if ResampleLinear(nil, 100, 200) != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestMedianFilter(t *testing.T) {
+	if _, err := MedianFilter([]float64{1}, 0); err != ErrBadFilter {
+		t.Error("k=0 should fail")
+	}
+	// Impulse removal: a single spike vanishes under a width-3 median.
+	x := make([]float64, 20)
+	x[10] = 5
+	y, err := MedianFilter(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range y {
+		if v != 0 {
+			t.Errorf("median filter left %v at %d", v, i)
+		}
+	}
+	// Step preservation: medians do not smear edges like means do.
+	s := make([]float64, 20)
+	for i := 10; i < 20; i++ {
+		s[i] = 1
+	}
+	ys, _ := MedianFilter(s, 5)
+	for i, v := range ys {
+		if v != s[i] {
+			t.Errorf("median filter distorted the step at %d: %v", i, v)
+		}
+	}
+}

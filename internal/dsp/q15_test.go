@@ -1,0 +1,64 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+
+	"wbsn/internal/fixedpt"
+)
+
+func TestBiquadQ15MatchesFloat(t *testing.T) {
+	fs := 256.0
+	for name, design := range map[string]func() (*Biquad, error){
+		"lowpass":  func() (*Biquad, error) { return Butterworth2Lowpass(15, fs) },
+		"highpass": func() (*Biquad, error) { return Butterworth2Highpass(5, fs) }, // ≥5 Hz: Q14 coefficients hold; sub-Hz cutoffs need wider coefficients (known 16-bit limitation)
+		"notch":    func() (*Biquad, error) { return NotchFilter(50, 20, fs) },
+	} {
+		fb, err := design()
+		if err != nil {
+			t.Fatal(err)
+		}
+		qb := QuantizeBiquad(fb)
+		x := sine(8, fs, 2048)
+		for i := range x {
+			x[i] *= 0.4 // keep Q15 headroom
+		}
+		yf := fb.Apply(x)
+		xq := fixedpt.FromSlice(x)
+		yq := qb.Apply(xq)
+		worst := 0.0
+		for i := 256; i < len(x); i++ {
+			if d := math.Abs(yq[i].Float() - yf[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 0.01 {
+			t.Errorf("%s: Q15 biquad deviates by %v", name, worst)
+		}
+	}
+}
+
+func TestBiquadQ15NotchKillsMains(t *testing.T) {
+	fs := 256.0
+	fb, err := NotchFilter(50, 20, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb := QuantizeBiquad(fb)
+	x := sine(50, fs, 8192)
+	for i := range x {
+		x[i] *= 0.4
+	}
+	y := qb.Apply(fixedpt.FromSlice(x))
+	tail := make([]float64, 2048)
+	for i := range tail {
+		tail[i] = y[len(y)-2048+i].Float()
+	}
+	if RMS(tail) > 0.03 {
+		t.Errorf("50 Hz survives the Q15 notch: RMS %v", RMS(tail))
+	}
+	qb.Reset()
+	if qb.Step(0) != 0 {
+		t.Error("Reset did not clear Q15 state")
+	}
+}

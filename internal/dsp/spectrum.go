@@ -1,0 +1,66 @@
+package dsp
+
+import "math"
+
+// Periodogram returns the one-sided power spectral density estimate of x
+// sampled at fs Hz, computed by direct DFT with a Hann window. The
+// result has len(x)/2+1 bins; bin k corresponds to frequency
+// k·fs/len(x). Signal lengths here are small (HRV tachograms), so the
+// O(n²) DFT is simpler and fast enough — no FFT machinery needed.
+func Periodogram(x []float64, fs float64) []float64 {
+	n := len(x)
+	if n == 0 || fs <= 0 {
+		return nil
+	}
+	// Hann window, mean removed first (the DC bin would otherwise swamp
+	// the physiological bands).
+	m := Mean(x)
+	w := make([]float64, n)
+	var wpow float64
+	for i := range w {
+		win := 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+		if n == 1 {
+			win = 1
+		}
+		w[i] = (x[i] - m) * win
+		wpow += win * win
+	}
+	if wpow == 0 {
+		wpow = 1
+	}
+	bins := n/2 + 1
+	psd := make([]float64, bins)
+	for k := 0; k < bins; k++ {
+		var re, im float64
+		for i := 0; i < n; i++ {
+			ang := -2 * math.Pi * float64(k) * float64(i) / float64(n)
+			re += w[i] * math.Cos(ang)
+			im += w[i] * math.Sin(ang)
+		}
+		p := (re*re + im*im) / (wpow * fs)
+		if k != 0 && k != bins-1 {
+			p *= 2 // one-sided
+		}
+		psd[k] = p
+	}
+	return psd
+}
+
+// BandPower integrates a one-sided PSD (as returned by Periodogram for a
+// signal of length n at rate fs) over [fLo, fHi] using the trapezoid
+// rule.
+func BandPower(psd []float64, n int, fs, fLo, fHi float64) float64 {
+	if len(psd) == 0 || n <= 0 || fs <= 0 || fHi <= fLo {
+		return 0
+	}
+	df := fs / float64(n)
+	power := 0.0
+	for k := 0; k < len(psd); k++ {
+		f := float64(k) * df
+		if f < fLo || f > fHi {
+			continue
+		}
+		power += psd[k] * df
+	}
+	return power
+}

@@ -1,0 +1,244 @@
+package dsp
+
+import "math"
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the population variance of x, or 0 for fewer than two
+// samples.
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// Std returns the population standard deviation of x.
+func Std(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// RMS returns the root-mean-square of x, or 0 for an empty slice.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Energy returns the sum of squares of x.
+func Energy(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// MinMax returns the minimum and maximum of x. It panics on empty input.
+func MinMax(x []float64) (lo, hi float64) {
+	if len(x) == 0 {
+		panic("dsp: MinMax of empty slice")
+	}
+	lo, hi = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// ArgMax returns the index of the maximum element of x (-1 if empty).
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the minimum element of x (-1 if empty).
+func ArgMin(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range x {
+		if v < x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgAbsMax returns the index of the element with the largest absolute
+// value (-1 if empty).
+func ArgAbsMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range x {
+		if math.Abs(v) > math.Abs(x[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Median returns the median of x without modifying it, or 0 for an empty
+// slice.
+func Median(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(x))
+	copy(tmp, x)
+	quickSelectSort(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// quickSelectSort sorts in place with insertion sort for small inputs and
+// a simple quicksort otherwise; avoids importing sort for hot paths.
+func quickSelectSort(x []float64) {
+	if len(x) < 16 {
+		for i := 1; i < len(x); i++ {
+			v := x[i]
+			j := i - 1
+			for j >= 0 && x[j] > v {
+				x[j+1] = x[j]
+				j--
+			}
+			x[j+1] = v
+		}
+		return
+	}
+	pivot := x[len(x)/2]
+	lt, i, gt := 0, 0, len(x)
+	for i < gt {
+		switch {
+		case x[i] < pivot:
+			x[lt], x[i] = x[i], x[lt]
+			lt++
+			i++
+		case x[i] > pivot:
+			gt--
+			x[gt], x[i] = x[i], x[gt]
+		default:
+			i++
+		}
+	}
+	quickSelectSort(x[:lt])
+	quickSelectSort(x[gt:])
+}
+
+// Normalize scales x in place to zero mean and unit standard deviation.
+// Constant signals are left mean-removed only.
+func Normalize(x []float64) {
+	m := Mean(x)
+	sd := Std(x)
+	for i := range x {
+		x[i] -= m
+	}
+	if sd == 0 {
+		return
+	}
+	inv := 1 / sd
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// Detrend removes the least-squares straight line from x in place.
+func Detrend(x []float64) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	// Fit y = a + b*t with t = 0..n-1.
+	var st, sy, stt, sty float64
+	for i, v := range x {
+		t := float64(i)
+		st += t
+		sy += v
+		stt += t * t
+		sty += t * v
+	}
+	fn := float64(n)
+	den := fn*stt - st*st
+	if den == 0 {
+		return
+	}
+	b := (fn*sty - st*sy) / den
+	a := (sy - b*st) / fn
+	for i := range x {
+		x[i] -= a + b*float64(i)
+	}
+}
+
+// Diff returns the first difference x[i+1]-x[i] (length len(x)-1).
+func Diff(x []float64) []float64 {
+	if len(x) < 2 {
+		return nil
+	}
+	d := make([]float64, len(x)-1)
+	for i := range d {
+		d[i] = x[i+1] - x[i]
+	}
+	return d
+}
+
+// Correlation returns the Pearson correlation coefficient of two
+// equal-length signals, or 0 if either is constant. It panics on length
+// mismatch.
+func Correlation(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("dsp: Correlation length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var sab, saa, sbb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}

@@ -1,0 +1,164 @@
+package ecg
+
+import "math"
+
+// Vec3 is a 3-D spatial vector used to model the cardiac dipole and lead
+// directions.
+type Vec3 [3]float64
+
+// Dot returns the scalar product of two vectors.
+func (v Vec3) Dot(w Vec3) float64 { return v[0]*w[0] + v[1]*w[1] + v[2]*w[2] }
+
+// Scale returns v multiplied by k.
+func (v Vec3) Scale(k float64) Vec3 { return Vec3{v[0] * k, v[1] * k, v[2] * k} }
+
+// Wave is one Gaussian component of a beat: the cardiac dipole points in
+// direction Dir with scalar amplitude Amp (mV), peaking Offset seconds
+// from the R peak with standard deviation Width seconds.
+type Wave struct {
+	Amp    float64
+	Offset float64
+	Width  float64
+	Dir    Vec3
+}
+
+// value returns the wave's scalar contribution at time t (seconds from
+// the R peak) before lead projection.
+func (w Wave) value(t float64) float64 {
+	d := (t - w.Offset) / w.Width
+	return w.Amp * math.Exp(-0.5*d*d)
+}
+
+// Morphology describes a full beat as a set of named waves. Offsets of
+// the T wave adapt to the instantaneous RR interval (QT adaptation)
+// during synthesis.
+type Morphology struct {
+	P, Q, R, S, T Wave
+	// HasP disables the P wave when false (PVC, AF beats).
+	HasP bool
+}
+
+// Default dipole directions: roughly frontal-plane orientations so that
+// standard limb leads see distinct projections of the same waves.
+var (
+	dirP = Vec3{0.8, 0.5, 0.2}
+	dirQ = Vec3{-0.4, 0.7, 0.5}
+	dirR = Vec3{0.7, 0.7, 0.1}
+	dirS = Vec3{-0.5, 0.8, 0.3}
+	dirT = Vec3{0.6, 0.6, 0.4}
+)
+
+// NormalMorphology returns a textbook normal sinus beat: P-R interval
+// 160 ms, QRS width ~90 ms, upright T at ~300 ms.
+func NormalMorphology() Morphology {
+	return Morphology{
+		P:    Wave{Amp: 0.15, Offset: -0.16, Width: 0.022, Dir: dirP},
+		Q:    Wave{Amp: -0.12, Offset: -0.028, Width: 0.009, Dir: dirQ},
+		R:    Wave{Amp: 1.2, Offset: 0, Width: 0.011, Dir: dirR},
+		S:    Wave{Amp: -0.25, Offset: 0.030, Width: 0.010, Dir: dirS},
+		T:    Wave{Amp: 0.32, Offset: 0.30, Width: 0.055, Dir: dirT},
+		HasP: true,
+	}
+}
+
+// PVCMorphology returns a premature ventricular contraction: no P wave,
+// wide bizarre QRS with a rotated dipole, discordant T wave.
+func PVCMorphology() Morphology {
+	return Morphology{
+		Q:    Wave{Amp: -0.30, Offset: -0.055, Width: 0.022, Dir: dirQ},
+		R:    Wave{Amp: 1.45, Offset: 0, Width: 0.030, Dir: Vec3{0.2, 0.9, -0.3}},
+		S:    Wave{Amp: -0.55, Offset: 0.065, Width: 0.026, Dir: dirS},
+		T:    Wave{Amp: -0.40, Offset: 0.32, Width: 0.070, Dir: dirT.Scale(-1)},
+		HasP: false,
+	}
+}
+
+// APBMorphology returns an atrial premature beat: an earlier, slightly
+// different P wave with an otherwise normal QRS-T.
+func APBMorphology() Morphology {
+	m := NormalMorphology()
+	m.P.Amp = 0.11
+	m.P.Offset = -0.13
+	m.P.Width = 0.018
+	m.P.Dir = Vec3{0.5, 0.8, 0.1}
+	return m
+}
+
+// AFMorphology returns the beat used inside atrial fibrillation: a
+// normal ventricular complex with the P wave removed (the atria
+// fibrillate instead of contracting; f-waves are added separately by the
+// rhythm model).
+func AFMorphology() Morphology {
+	m := NormalMorphology()
+	m.HasP = false
+	return m
+}
+
+// waveSupport is the half-width, in standard deviations, defining the
+// ground-truth onset and offset of a wave. 2.3 sigma covers ~98% of the
+// Gaussian lobe's area, matching how human annotators bracket a wave at
+// the point it visually leaves the baseline.
+const waveSupport = 2.3
+
+// fiducialsAt computes the ground-truth fiducial indices for a beat of
+// this morphology whose R peak falls at sample r (sampling rate fs). The
+// T-wave offset is stretched by qtScale (Bazett-style QT adaptation).
+// Indices are clamped to [0, n).
+func (m Morphology) fiducialsAt(r int, fs, qtScale float64, n int) Fiducials {
+	toIdx := func(sec float64) int {
+		i := r + int(math.Round(sec*fs))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	f := Fiducials{POn: -1, PPeak: -1, POff: -1}
+	if m.HasP {
+		f.POn = toIdx(m.P.Offset - waveSupport*m.P.Width)
+		f.PPeak = toIdx(m.P.Offset)
+		f.POff = toIdx(m.P.Offset + waveSupport*m.P.Width)
+	}
+	f.QRSOn = toIdx(m.Q.Offset - waveSupport*m.Q.Width)
+	f.RPeak = toIdx(0)
+	f.QRSOff = toIdx(m.S.Offset + waveSupport*m.S.Width)
+	tOff := m.T.Offset * qtScale
+	f.TOn = toIdx(tOff - waveSupport*m.T.Width)
+	f.TPeak = toIdx(tOff)
+	f.TOff = toIdx(tOff + waveSupport*m.T.Width)
+	return f
+}
+
+// renderInto adds the beat's dipole waveform, projected onto the given
+// lead vectors, into each lead buffer. r is the R-peak sample index,
+// qtScale stretches the T wave, ampJitter scales all amplitudes.
+func (m Morphology) renderInto(leads [][]float64, leadVecs []Vec3, r int, fs, qtScale, ampJitter float64) {
+	n := len(leads[0])
+	waves := []Wave{m.Q, m.R, m.S}
+	if m.HasP {
+		waves = append(waves, m.P)
+	}
+	tw := m.T
+	tw.Offset *= qtScale
+	waves = append(waves, tw)
+	for _, w := range waves {
+		// Render only the wave's support to keep synthesis O(beats).
+		lo := r + int((w.Offset-4*w.Width)*fs)
+		hi := r + int((w.Offset+4*w.Width)*fs)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		for i := lo; i <= hi; i++ {
+			t := float64(i-r) / fs
+			v := w.value(t) * ampJitter
+			for li := range leads {
+				leads[li][i] += v * leadVecs[li].Dot(w.Dir)
+			}
+		}
+	}
+}

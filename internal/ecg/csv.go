@@ -1,0 +1,54 @@
+package ecg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV streams the record's leads as CSV: a header row, then one row
+// per sample with the time in seconds followed by each lead's value in
+// millivolts.
+func (r *Record) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	header := make([]string, 0, len(r.Leads)+1)
+	header = append(header, "t")
+	for i := range r.Leads {
+		header = append(header, fmt.Sprintf("lead%d", i+1))
+	}
+	if _, err := bw.WriteString(strings.Join(header, ",") + "\n"); err != nil {
+		return err
+	}
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(r.Leads)+1)
+		row = append(row, strconv.FormatFloat(float64(i)/r.Fs, 'f', 6, 64))
+		for _, l := range r.Leads {
+			row = append(row, strconv.FormatFloat(l[i], 'f', 6, 64))
+		}
+		if _, err := bw.WriteString(strings.Join(row, ",") + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteAnnotations streams the ground-truth beat annotations as CSV, one
+// row per beat: label and the nine fiducial sample indices (-1 = wave
+// absent).
+func (r *Record) WriteAnnotations(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("label,Pon,Ppeak,Poff,QRSon,Rpeak,QRSoff,Ton,Tpeak,Toff\n"); err != nil {
+		return err
+	}
+	for _, b := range r.Beats {
+		f := b.Fid
+		if _, err := fmt.Fprintf(bw, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			b.Label, f.POn, f.PPeak, f.POff, f.QRSOn, f.RPeak, f.QRSOff, f.TOn, f.TPeak, f.TOff); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,114 @@
+package ecg
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NoiseConfig sets the amplitude (mV RMS unless noted) of each noise
+// class added to the synthesised leads. The classes mirror the
+// disturbance sources discussed in Sections II and III.B of the paper:
+// environmental interference (powerline), biological noise (muscular
+// activity), baseline wander and motion artifacts.
+type NoiseConfig struct {
+	// BaselineWander is the peak amplitude of the slow (< 0.5 Hz)
+	// baseline oscillation, mV.
+	BaselineWander float64
+	// EMG is the RMS of the broadband electromyographic noise, mV.
+	EMG float64
+	// Powerline is the amplitude of 50 Hz mains interference, mV.
+	Powerline float64
+	// MotionRate is the expected number of electrode-motion transients
+	// per minute; MotionAmp their peak amplitude in mV.
+	MotionRate float64
+	MotionAmp  float64
+}
+
+// CleanNoise returns a NoiseConfig with every source disabled.
+func CleanNoise() NoiseConfig { return NoiseConfig{} }
+
+// AmbulatoryNoise returns the default noise mix for ambulatory
+// monitoring: visible wander, modest EMG, faint mains pickup, occasional
+// motion artifacts.
+func AmbulatoryNoise() NoiseConfig {
+	return NoiseConfig{
+		BaselineWander: 0.25,
+		EMG:            0.03,
+		Powerline:      0.02,
+		MotionRate:     2,
+		MotionAmp:      0.4,
+	}
+}
+
+// addNoise renders all configured noise classes into the leads. Noise is
+// generated independently per lead except baseline wander, which is
+// strongly correlated across electrodes (common respiration/posture
+// origin) and is therefore shared with per-lead gains.
+func addNoise(leads [][]float64, cfg NoiseConfig, fs float64, rng *rand.Rand) {
+	if len(leads) == 0 {
+		return
+	}
+	n := len(leads[0])
+	if cfg.BaselineWander > 0 {
+		// Sum of three slow sinusoids with random phases and rates.
+		type comp struct{ f, a, ph float64 }
+		comps := []comp{
+			{0.05 + 0.1*rng.Float64(), 1.0, rng.Float64() * 2 * math.Pi},
+			{0.15 + 0.1*rng.Float64(), 0.5, rng.Float64() * 2 * math.Pi},
+			{0.30 + 0.1*rng.Float64(), 0.25, rng.Float64() * 2 * math.Pi},
+		}
+		gains := make([]float64, len(leads))
+		for li := range gains {
+			gains[li] = 0.7 + 0.6*rng.Float64()
+		}
+		for i := 0; i < n; i++ {
+			t := float64(i) / fs
+			v := 0.0
+			for _, c := range comps {
+				v += c.a * math.Sin(2*math.Pi*c.f*t+c.ph)
+			}
+			v *= cfg.BaselineWander / 1.75 // normalise to requested peak
+			for li := range leads {
+				leads[li][i] += gains[li] * v
+			}
+		}
+	}
+	if cfg.EMG > 0 {
+		// Broadband noise, high-pass shaped by first differencing white
+		// noise (EMG energy sits above the ECG band).
+		for li := range leads {
+			prev := rng.NormFloat64()
+			for i := 0; i < n; i++ {
+				cur := rng.NormFloat64()
+				leads[li][i] += cfg.EMG * (cur - 0.6*prev)
+				prev = cur
+			}
+		}
+	}
+	if cfg.Powerline > 0 {
+		for li := range leads {
+			ph := rng.Float64() * 2 * math.Pi
+			for i := 0; i < n; i++ {
+				leads[li][i] += cfg.Powerline * math.Sin(2*math.Pi*50*float64(i)/fs+ph)
+			}
+		}
+	}
+	if cfg.MotionRate > 0 && cfg.MotionAmp > 0 {
+		// Poisson-placed exponential transients per lead.
+		perSample := cfg.MotionRate / 60 / fs
+		tau := 0.15 * fs // decay constant in samples
+		for li := range leads {
+			for i := 0; i < n; i++ {
+				if rng.Float64() < perSample {
+					amp := cfg.MotionAmp * (0.5 + rng.Float64())
+					if rng.Intn(2) == 0 {
+						amp = -amp
+					}
+					for j := i; j < n && j < i+int(6*tau); j++ {
+						leads[li][j] += amp * math.Exp(-float64(j-i)/tau)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package ecg
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RhythmKind selects the rhythm generator.
+type RhythmKind uint8
+
+// Rhythm kinds.
+const (
+	// RhythmNSR is normal sinus rhythm with physiological HRV.
+	RhythmNSR RhythmKind = iota
+	// RhythmAF is atrial fibrillation: irregular RR, no P waves,
+	// fibrillatory baseline.
+	RhythmAF
+)
+
+// RhythmConfig parameterises RR-interval generation.
+type RhythmConfig struct {
+	Kind RhythmKind
+	// MeanHR is the mean heart rate in beats per minute (default 72 for
+	// NSR, 95 for AF).
+	MeanHR float64
+	// HRVMayer is the fractional RR modulation by the ~0.1 Hz Mayer wave
+	// (default 0.03).
+	HRVMayer float64
+	// HRVRSA is the fractional RR modulation by respiratory sinus
+	// arrhythmia at ~0.25 Hz (default 0.04).
+	HRVRSA float64
+	// AFIrregularity is the coefficient of variation of AF RR intervals
+	// (default 0.22, matching the high irregularity of AF rhythms).
+	AFIrregularity float64
+	// PVCRate and APBRate are per-beat probabilities of ectopy in NSR
+	// (default 0).
+	PVCRate, APBRate float64
+}
+
+func (c RhythmConfig) withDefaults() RhythmConfig {
+	out := c
+	if out.MeanHR <= 0 {
+		if out.Kind == RhythmAF {
+			out.MeanHR = 95
+		} else {
+			out.MeanHR = 72
+		}
+	}
+	if out.HRVMayer == 0 {
+		out.HRVMayer = 0.03
+	}
+	if out.HRVRSA == 0 {
+		out.HRVRSA = 0.04
+	}
+	if out.AFIrregularity <= 0 {
+		out.AFIrregularity = 0.22
+	}
+	return out
+}
+
+// beatPlan is one planned beat: time of the R peak (seconds) and its
+// label/morphology.
+type beatPlan struct {
+	t     float64
+	label BeatLabel
+	morph Morphology
+	// ampJitter scales the beat's amplitudes (inter-beat variability).
+	ampJitter float64
+	// qtScale stretches the T-wave timing with the preceding RR.
+	qtScale float64
+}
+
+// planRhythm produces the beat schedule for `dur` seconds of signal.
+// baseMorph overrides the normal-beat morphology when non-nil.
+func planRhythm(cfg RhythmConfig, baseMorph *Morphology, dur float64, rng *rand.Rand) []beatPlan {
+	c := cfg.withDefaults()
+	normal := NormalMorphology()
+	if baseMorph != nil {
+		normal = *baseMorph
+	}
+	afBase := AFMorphology()
+	if baseMorph != nil {
+		afBase = normal
+		afBase.HasP = false
+	}
+	meanRR := 60 / c.MeanHR
+	var plans []beatPlan
+	t := 0.35 + 0.25*rng.Float64() // first beat away from the record edge
+	phaseMayer := rng.Float64() * 2 * math.Pi
+	phaseRSA := rng.Float64() * 2 * math.Pi
+	prevRR := meanRR
+	for t < dur-0.55 {
+		var rr float64
+		label := LabelNormal
+		morph := normal
+		switch c.Kind {
+		case RhythmAF:
+			label = LabelAF
+			morph = afBase
+			// AF RR: lognormal-ish irregularity, bounded to plausible range.
+			rr = meanRR * math.Exp(c.AFIrregularity*rng.NormFloat64())
+			if rr < 0.30 {
+				rr = 0.30
+			}
+			if rr > 1.8 {
+				rr = 1.8
+			}
+		default:
+			// NSR with Mayer + RSA modulation and a little white jitter.
+			mod := 1 +
+				c.HRVMayer*math.Sin(2*math.Pi*0.1*t+phaseMayer) +
+				c.HRVRSA*math.Sin(2*math.Pi*0.25*t+phaseRSA) +
+				0.01*rng.NormFloat64()
+			rr = meanRR * mod
+			// Ectopy.
+			u := rng.Float64()
+			switch {
+			case u < c.PVCRate:
+				label = LabelPVC
+				morph = PVCMorphology()
+				rr = meanRR * (0.55 + 0.15*rng.Float64()) // premature vs sinus rate
+			case u < c.PVCRate+c.APBRate:
+				label = LabelAPB
+				morph = APBMorphology()
+				rr = meanRR * (0.65 + 0.15*rng.Float64())
+			}
+		}
+		t += rr
+		if t >= dur-0.55 {
+			break
+		}
+		// Bazett-style QT adaptation, clamped to the physiological range
+		// so the T wave never collides with its own QRS.
+		qt := math.Sqrt(rr / meanRR)
+		if qt < 0.75 {
+			qt = 0.75
+		}
+		if qt > 1.25 {
+			qt = 1.25
+		}
+		plans = append(plans, beatPlan{
+			t:         t,
+			label:     label,
+			morph:     morph,
+			ampJitter: 1 + 0.05*rng.NormFloat64(),
+			qtScale:   qt,
+		})
+		if label == LabelPVC {
+			// Compensatory pause after a PVC.
+			t += prevRR * (0.45 + 0.15*rng.Float64())
+		}
+		prevRR = rr
+	}
+	return plans
+}
+
+// fWaves renders the fibrillatory baseline of AF into the leads: a
+// frequency- and amplitude-modulated oscillation around 6 Hz, projected
+// onto the atrial (P-wave) dipole direction. Amplitude amp is in mV
+// (typical 0.03-0.08).
+func fWaves(leads [][]float64, leadVecs []Vec3, lo, hi int, fs, amp float64, rng *rand.Rand) {
+	if len(leads) == 0 || lo >= hi {
+		return
+	}
+	phase := rng.Float64() * 2 * math.Pi
+	for i := lo; i < hi; i++ {
+		t := float64(i) / fs
+		f := 6 + 1.2*math.Sin(2*math.Pi*0.31*t)           // wandering f-wave rate
+		a := amp * (1 + 0.3*math.Sin(2*math.Pi*0.17*t+1)) // slow AM
+		phase += 2 * math.Pi * f / fs
+		v := a * math.Sin(phase)
+		for li := range leads {
+			leads[li][i] += v * leadVecs[li].Dot(dirP)
+		}
+	}
+}

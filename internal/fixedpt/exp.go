@@ -1,0 +1,122 @@
+package fixedpt
+
+// This file implements the piecewise-linear approximation of the Gaussian
+// kernel described in Section IV.A of the paper: "a four-segments
+// linearization is shown to achieve close-to-optimal results [14], while
+// vastly simplifying the computational requirements".
+//
+// The function approximated is g(u) = exp(-u) for u >= 0 (the classifier
+// evaluates exp(-d²/2σ²) with the squared distance pre-scaled into u).
+// Four line segments cover u in [0, 4); beyond 4 the Gaussian is treated
+// as zero, which matches the truncation used by the embedded classifier.
+
+// expSegment is one linear piece a - b*u of the exp(-u) approximation,
+// with a and b in Q15 over the segment's local coordinate.
+type expSegment struct {
+	lo, hi float64 // segment domain
+	a, b   float64 // value = a - b*(u-lo)
+}
+
+// The four segments interpolate exp(-u) at the breakpoints
+// u = 0, 0.5, 1.25, 2.25, 4.0 — spacing chosen denser near zero where the
+// curvature is largest, mirroring the design in ref [14].
+var expSegments = [4]expSegment{
+	{0.00, 0.50, 1.000000, (1.000000 - 0.606531) / 0.50},
+	{0.50, 1.25, 0.606531, (0.606531 - 0.286505) / 0.75},
+	{1.25, 2.25, 0.286505, (0.286505 - 0.105399) / 1.00},
+	{2.25, 4.00, 0.105399, (0.105399 - 0.018316) / 1.75},
+}
+
+// ExpNegLin4 approximates exp(-u) for u >= 0 with the paper's four-segment
+// linearization. Inputs beyond 4 return 0; negative inputs are clamped to
+// 0 (returning 1).
+func ExpNegLin4(u float64) float64 {
+	if u <= 0 {
+		return 1
+	}
+	if u >= 4 {
+		return 0
+	}
+	for _, s := range expSegments {
+		if u < s.hi {
+			return s.a - s.b*(u-s.lo)
+		}
+	}
+	return 0
+}
+
+// expQ15Seg holds the Q15-quantised segment table used by the integer
+// variant. Breakpoints are in Q12 (u scaled by 4096 so the domain [0,4)
+// fits int16), values and slopes in Q15.
+type expQ15Seg struct {
+	loQ12 int32 // breakpoint, Q12
+	hiQ12 int32
+	aQ15  int32 // value at lo, Q15
+	bQ17  int32 // slope per Q12 unit, scaled so (b*(u-lo))>>14 is Q15
+}
+
+var expQ15Segments = [4]expQ15Seg{}
+
+func init() {
+	for i, s := range expSegments {
+		expQ15Segments[i] = expQ15Seg{
+			loQ12: int32(s.lo * 4096),
+			hiQ12: int32(s.hi * 4096),
+			aQ15:  int32(s.a * 32768),
+			// u is Q12; the real-valued correction slope*(u-lo) must land
+			// in Q15: value = a - slope*du/4096*32768 = a - slope*du*8.
+			// Store slope*8 with 11 extra fractional bits for accuracy.
+			bQ17: int32(s.b * 8 * 2048),
+		}
+	}
+}
+
+// ExpNegLin4Q15 is the integer-only variant: u is given in Q12
+// (i.e. real u = uQ12/4096, valid domain [0, 4)), the result is Q15.
+// This is the form executed on the node; its cycle cost is three compares,
+// one subtract, one multiply and one shift.
+func ExpNegLin4Q15(uQ12 int32) Q15 {
+	if uQ12 <= 0 {
+		return MaxQ15
+	}
+	if uQ12 >= 4*4096 {
+		return 0
+	}
+	for _, s := range expQ15Segments {
+		if uQ12 < s.hiQ12 {
+			du := uQ12 - s.loQ12                // Q12
+			v := s.aQ15 - ((du * s.bQ17) >> 11) // Q15
+			if v < 0 {
+				v = 0
+			}
+			if v > 32767 {
+				v = 32767
+			}
+			return Q15(v)
+		}
+	}
+	return 0
+}
+
+// ExpNegLin4MaxError reports the maximum absolute error of the 4-segment
+// approximation against math.Exp over a uniform grid of n points in
+// [0, 4]. Exposed for the ablation bench that validates the "close to
+// optimal" claim of ref [14]. The exact exponential is passed in by the
+// caller to keep this package free of math imports on embedded builds.
+func ExpNegLin4MaxError(n int, exact func(float64) float64) float64 {
+	if n < 2 {
+		n = 2
+	}
+	maxErr := 0.0
+	for i := 0; i < n; i++ {
+		u := 4 * float64(i) / float64(n-1)
+		e := ExpNegLin4(u) - exact(-u)
+		if e < 0 {
+			e = -e
+		}
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}

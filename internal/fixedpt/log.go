@@ -1,0 +1,70 @@
+package fixedpt
+
+// Log2Frac returns log2(v) with fracBits fractional bits (rounded down),
+// computed by the classic integer square-and-compare method: the integer
+// part is the position of the highest set bit; each fractional bit comes
+// from one squaring of the normalised mantissa. v = 0 returns the most
+// negative representable value as a saturated "-inf" stand-in.
+//
+// The routine uses only shifts, multiplies and compares — the form an
+// integer-only MCU runs when the AF detector evaluates the Shannon
+// entropy of its RR histogram on-node (Section V, ref [25]).
+func Log2Frac(v uint32, fracBits uint) int32 {
+	if fracBits > 16 {
+		fracBits = 16
+	}
+	if v == 0 {
+		return -(1 << 30)
+	}
+	// Integer part: floor(log2 v).
+	ip := int32(0)
+	t := v
+	for t > 1 {
+		t >>= 1
+		ip++
+	}
+	result := ip << fracBits
+	// Normalise the mantissa into [1, 2) as Q16: m = v / 2^ip scaled.
+	var m uint64
+	if ip >= 16 {
+		m = uint64(v) >> uint(ip-16)
+	} else {
+		m = uint64(v) << uint(16-ip)
+	}
+	// Fractional bits: square the mantissa; if it reaches 2, emit a 1 and
+	// renormalise.
+	for b := uint(0); b < fracBits; b++ {
+		m = (m * m) >> 16 // still Q16
+		if m >= 2<<16 {
+			m >>= 1
+			result |= 1 << (fracBits - 1 - b)
+		}
+	}
+	return result
+}
+
+// Log2Q15 returns log2(p) for a Q15 probability p in (0, 1], with 11
+// fractional bits (Q11, range about [-15, 0]). p <= 0 returns the
+// saturated "-inf" stand-in from Log2Frac.
+func Log2Q15(p Q15) int32 {
+	if p <= 0 {
+		return -(1 << 30)
+	}
+	// log2(p/32768) = log2(p) - 15.
+	return Log2Frac(uint32(p), 11) - 15<<11
+}
+
+// EntropyBitsQ15 computes the Shannon entropy -Σ p·log2(p), in Q11 bits,
+// of a Q15 probability vector (entries are clamped at 0; callers
+// normalise the histogram so the entries sum to ~1.0). The
+// multiply-accumulate runs in 64-bit to avoid overflow.
+func EntropyBitsQ15(probs []Q15) int32 {
+	var acc int64 // Q15 * Q11 = Q26
+	for _, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		acc -= int64(p) * int64(Log2Q15(p))
+	}
+	return int32(acc >> 15) // back to Q11
+}

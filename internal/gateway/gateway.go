@@ -1,0 +1,184 @@
+// Package gateway implements the receiver side of the paper's
+// architecture: the WBSN coordinator (a smartphone or base station,
+// ref [5] demonstrates "a real-time CS decoder running on an iPhone")
+// that collects the node's compressed packets, reconstructs the signal
+// and performs the heavyweight analysis the node offloaded — closing the
+// compress → transmit → reconstruct → diagnose loop end to end.
+//
+// The gateway shares the sensing-matrix seed with the node (matrices are
+// pseudo-random, so only the seed travels); measurements arrive through
+// core.Stream packet events or any transport that preserves the window
+// order.
+package gateway
+
+import (
+	"errors"
+	"math/rand"
+
+	"wbsn/internal/core"
+	"wbsn/internal/cs"
+	"wbsn/internal/delineation"
+	"wbsn/internal/dsp"
+)
+
+// ErrGateway is returned for configuration or packet-consistency errors.
+var ErrGateway = errors.New("gateway: invalid configuration or packet")
+
+// Config parameterises the receiver. It must mirror the node's CS
+// configuration (window, ratio, density, seed, lead count).
+type Config struct {
+	// Fs is the sampling rate in Hz.
+	Fs float64
+	// Leads is the lead count.
+	Leads int
+	// CSWindow, CSRatio, CSDensity, Seed mirror the node's encoder.
+	CSWindow  int
+	CSRatio   float64
+	CSDensity int
+	Seed      int64
+	// Joint selects multi-lead joint reconstruction (default true).
+	DisableJoint bool
+	// Solver tunes the reconstruction (defaults: 150 iterations, 1
+	// reweighting pass — the real-time receiver budget of ref [5]).
+	Solver cs.SolverConfig
+}
+
+func (c Config) withDefaults() Config {
+	out := c
+	if out.Fs <= 0 {
+		out.Fs = 256
+	}
+	if out.Leads <= 0 {
+		out.Leads = 3
+	}
+	if out.CSWindow <= 0 {
+		out.CSWindow = 512
+	}
+	if out.CSRatio <= 0 {
+		out.CSRatio = 65.9
+	}
+	if out.CSDensity <= 0 {
+		out.CSDensity = 4
+	}
+	if out.Solver.Iters <= 0 {
+		out.Solver.Iters = 150
+	}
+	if out.Solver.Reweights == 0 {
+		out.Solver.Reweights = 1
+	}
+	return out
+}
+
+// MatchNode builds a gateway Config mirroring a node configuration.
+func MatchNode(n core.Config) Config {
+	return Config{
+		Fs:        n.Fs,
+		Leads:     n.Leads,
+		CSWindow:  n.CSWindow,
+		CSRatio:   n.CSRatio,
+		CSDensity: n.CSDensity,
+		Seed:      n.Seed,
+	}
+}
+
+// Receiver reconstructs the node's compressed stream.
+type Receiver struct {
+	cfg Config
+	dec *cs.Decoder
+	// signal accumulates the reconstructed leads.
+	signal [][]float64
+	del    *delineation.WaveletDelineator
+}
+
+// NewReceiver builds the receiver; the sensing matrix is regenerated
+// from the shared seed exactly as the node's encoder drew it.
+func NewReceiver(cfg Config) (*Receiver, error) {
+	c := cfg.withDefaults()
+	m := cs.MeasurementsForCR(c.CSWindow, c.CSRatio)
+	d := c.CSDensity
+	if d > m {
+		d = m
+	}
+	phi, err := cs.NewSparseBinary(m, c.CSWindow, d, rand.New(rand.NewSource(c.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	dec, err := cs.NewDecoder(phi, c.Solver)
+	if err != nil {
+		return nil, err
+	}
+	del, err := delineation.NewWaveletDelineator(delineation.Config{Fs: c.Fs})
+	if err != nil {
+		return nil, err
+	}
+	r := &Receiver{cfg: c, dec: dec, del: del}
+	r.signal = make([][]float64, c.Leads)
+	return r, nil
+}
+
+// ConsumePacket reconstructs one window from the node's measurement
+// packet and appends it to the receiver-side signal.
+func (r *Receiver) ConsumePacket(measurements [][]float64) error {
+	if len(measurements) != r.cfg.Leads {
+		return ErrGateway
+	}
+	var xs [][]float64
+	var err error
+	if r.cfg.DisableJoint {
+		xs, err = r.dec.ReconstructLeads(measurements)
+	} else {
+		xs, err = r.dec.ReconstructJoint(measurements)
+	}
+	if err != nil {
+		return err
+	}
+	for li := range xs {
+		r.signal[li] = append(r.signal[li], xs[li]...)
+	}
+	return nil
+}
+
+// ConsumeEvents feeds every CS packet among the node's stream events to
+// the receiver, ignoring other event kinds.
+func (r *Receiver) ConsumeEvents(events []core.Event) error {
+	for _, e := range events {
+		if e.Kind != core.EventPacket || e.Measurements == nil {
+			continue
+		}
+		if err := r.ConsumePacket(e.Measurements); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Signal returns the reconstructed leads accumulated so far.
+func (r *Receiver) Signal() [][]float64 { return r.signal }
+
+// SamplesReceived returns the per-lead reconstructed length.
+func (r *Receiver) SamplesReceived() int {
+	if len(r.signal) == 0 {
+		return 0
+	}
+	return len(r.signal[0])
+}
+
+// Delineate runs the receiver-side delineator over the reconstructed
+// RMS-combined signal — the remote analysis the node's compression must
+// preserve.
+func (r *Receiver) Delineate() ([]delineation.BeatFiducials, error) {
+	if r.SamplesReceived() == 0 {
+		return nil, nil
+	}
+	return r.del.Delineate(dsp.CombineRMS(r.signal))
+}
+
+// ConsumeLostPacket records a window the radio failed to deliver: the
+// reconstructed signal is padded with zeros so downstream indices stay
+// aligned. Remote analysis degrades gracefully — beats inside the lost
+// window are missed, neighbours are unaffected.
+func (r *Receiver) ConsumeLostPacket() {
+	for li := range r.signal {
+		r.signal[li] = append(r.signal[li], make([]float64, r.cfg.CSWindow)...)
+	}
+}

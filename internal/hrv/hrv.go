@@ -1,0 +1,187 @@
+// Package hrv computes heart-rate-variability metrics from RR-interval
+// series, the analysis behind the paper's sleep/fatigue monitoring
+// applications (Sections I-II: "sleep monitoring applications involve
+// the analysis of heart rate variability over a time window of the
+// acquired bio-signal", motivating scenarios such as "monitoring of the
+// sleep state of airline pilots").
+//
+// Time-domain metrics (SDNN, RMSSD, pNN50) come straight from the RR
+// series; frequency-domain metrics (LF, HF, LF/HF) follow the standard
+// HRV methodology: the irregularly-sampled tachogram is resampled to a
+// uniform 4 Hz grid and a windowed periodogram integrates the
+// low-frequency (0.04-0.15 Hz, sympathetic+parasympathetic) and
+// high-frequency (0.15-0.4 Hz, respiratory/parasympathetic) bands. A
+// falling LF/HF ratio is the classic marker of deepening sleep.
+package hrv
+
+import (
+	"errors"
+	"math"
+
+	"wbsn/internal/dsp"
+)
+
+// ErrTooFewBeats is returned when the RR series is too short to analyse.
+var ErrTooFewBeats = errors.New("hrv: need at least 8 RR intervals")
+
+// TachogramRate is the uniform resampling rate of the RR tachogram used
+// by the spectral metrics, in Hz.
+const TachogramRate = 4.0
+
+// Metrics holds one analysis window's HRV summary.
+type Metrics struct {
+	// MeanRR is the mean RR interval in seconds; MeanHR the equivalent
+	// heart rate in bpm.
+	MeanRR, MeanHR float64
+	// SDNN is the standard deviation of RR intervals, seconds.
+	SDNN float64
+	// RMSSD is the root mean square of successive differences, seconds.
+	RMSSD float64
+	// PNN50 is the fraction of successive differences exceeding 50 ms.
+	PNN50 float64
+	// LF and HF are the band powers (s²) of the resampled tachogram;
+	// LFHF is their ratio (0 when HF vanishes).
+	LF, HF, LFHF float64
+}
+
+// Analyze computes the metrics over one window of RR intervals
+// (seconds). It needs at least 8 intervals.
+func Analyze(rr []float64) (Metrics, error) {
+	if len(rr) < 8 {
+		return Metrics{}, ErrTooFewBeats
+	}
+	var m Metrics
+	m.MeanRR = dsp.Mean(rr)
+	if m.MeanRR > 0 {
+		m.MeanHR = 60 / m.MeanRR
+	}
+	m.SDNN = dsp.Std(rr)
+	var ss float64
+	nn50 := 0
+	for i := 1; i < len(rr); i++ {
+		d := rr[i] - rr[i-1]
+		ss += d * d
+		if math.Abs(d) > 0.050 {
+			nn50++
+		}
+	}
+	m.RMSSD = math.Sqrt(ss / float64(len(rr)-1))
+	m.PNN50 = float64(nn50) / float64(len(rr)-1)
+	// Spectral metrics over the uniformly resampled tachogram.
+	tach := ResampleTachogram(rr, TachogramRate)
+	if len(tach) >= 16 {
+		psd := dsp.Periodogram(tach, TachogramRate)
+		m.LF = dsp.BandPower(psd, len(tach), TachogramRate, 0.04, 0.15)
+		m.HF = dsp.BandPower(psd, len(tach), TachogramRate, 0.15, 0.40)
+		// Guard against numerical dust in a flat tachogram.
+		if m.HF > 1e-12 {
+			m.LFHF = m.LF / m.HF
+		}
+	}
+	return m, nil
+}
+
+// ResampleTachogram converts an RR series (seconds) into a uniformly
+// sampled tachogram at the given rate: RR value as a function of time,
+// linearly interpolated between beat instants.
+func ResampleTachogram(rr []float64, rate float64) []float64 {
+	if len(rr) == 0 || rate <= 0 {
+		return nil
+	}
+	// Beat times: cumulative RR.
+	times := make([]float64, len(rr))
+	t := 0.0
+	for i, v := range rr {
+		t += v
+		times[i] = t
+	}
+	total := times[len(times)-1]
+	n := int(total * rate)
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	idx := 0
+	for i := 0; i < n; i++ {
+		tt := float64(i) / rate
+		for idx < len(times)-1 && times[idx] < tt {
+			idx++
+		}
+		if idx == 0 {
+			out[i] = rr[0]
+			continue
+		}
+		t0, t1 := times[idx-1], times[idx]
+		if t1 == t0 {
+			out[i] = rr[idx]
+			continue
+		}
+		frac := (tt - t0) / (t1 - t0)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		out[i] = rr[idx-1]*(1-frac) + rr[idx]*frac
+	}
+	return out
+}
+
+// SleepStage is a coarse autonomic-state classification.
+type SleepStage int
+
+// Sleep stages derived from HRV.
+const (
+	// StageWake: high LF/HF, elevated heart rate.
+	StageWake SleepStage = iota
+	// StageLight: intermediate autonomic balance.
+	StageLight
+	// StageDeep: parasympathetic dominance — low LF/HF, high RMSSD.
+	StageDeep
+)
+
+// String returns the stage name.
+func (s SleepStage) String() string {
+	switch s {
+	case StageWake:
+		return "wake"
+	case StageLight:
+		return "light"
+	case StageDeep:
+		return "deep"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyStage maps a window's metrics to a coarse sleep stage with the
+// standard autonomic markers: deepening sleep lowers LF/HF and heart
+// rate while raising vagally-mediated RMSSD.
+func ClassifyStage(m Metrics) SleepStage {
+	switch {
+	case m.LFHF < 1.0 && m.RMSSD > 0.04:
+		return StageDeep
+	case m.LFHF < 2.5:
+		return StageLight
+	default:
+		return StageWake
+	}
+}
+
+// SlidingWindows splits an RR series into windows of `size` beats with
+// the given hop and analyses each; windows that fail analysis are
+// skipped.
+func SlidingWindows(rr []float64, size, hop int) []Metrics {
+	if size < 8 || hop < 1 {
+		return nil
+	}
+	var out []Metrics
+	for start := 0; start+size <= len(rr); start += hop {
+		m, err := Analyze(rr[start : start+size])
+		if err == nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package hrv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wbsn/internal/ecg"
+)
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(make([]float64, 5)); err != ErrTooFewBeats {
+		t.Error("short series should fail")
+	}
+}
+
+func TestTimeDomainMetrics(t *testing.T) {
+	// Alternating 0.7/0.9 s RR: mean 0.8, successive diffs all 0.2.
+	rr := make([]float64, 20)
+	for i := range rr {
+		if i%2 == 0 {
+			rr[i] = 0.7
+		} else {
+			rr[i] = 0.9
+		}
+	}
+	m, err := Analyze(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.MeanRR-0.8) > 1e-12 {
+		t.Errorf("MeanRR = %v", m.MeanRR)
+	}
+	if math.Abs(m.MeanHR-75) > 1e-9 {
+		t.Errorf("MeanHR = %v", m.MeanHR)
+	}
+	if math.Abs(m.RMSSD-0.2) > 1e-12 {
+		t.Errorf("RMSSD = %v", m.RMSSD)
+	}
+	if m.PNN50 != 1 {
+		t.Errorf("PNN50 = %v, want 1 (all diffs 200 ms)", m.PNN50)
+	}
+	if math.Abs(m.SDNN-0.1) > 1e-12 {
+		t.Errorf("SDNN = %v", m.SDNN)
+	}
+}
+
+func TestConstantRRHasNoVariability(t *testing.T) {
+	rr := make([]float64, 30)
+	for i := range rr {
+		rr[i] = 0.8
+	}
+	m, err := Analyze(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SDNN > 1e-12 || m.RMSSD > 1e-12 || m.PNN50 != 0 {
+		t.Errorf("constant RR should have zero variability: %+v", m)
+	}
+	if m.LF > 1e-9 || m.HF > 1e-9 || m.LFHF != 0 {
+		t.Errorf("constant tachogram should have no band power: LF=%v HF=%v LFHF=%v", m.LF, m.HF, m.LFHF)
+	}
+}
+
+func TestSpectralSeparation(t *testing.T) {
+	// RR modulated at 0.1 Hz (LF) vs 0.3 Hz (HF): band powers must land
+	// in the right bands.
+	mk := func(f float64) []float64 {
+		rr := make([]float64, 240)
+		t := 0.0
+		for i := range rr {
+			rr[i] = 0.8 + 0.05*math.Sin(2*math.Pi*f*t)
+			t += rr[i]
+		}
+		return rr
+	}
+	lfm, err := Analyze(mk(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hfm, err := Analyze(mk(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lfm.LF < 5*lfm.HF {
+		t.Errorf("0.1 Hz modulation: LF=%v HF=%v, LF should dominate", lfm.LF, lfm.HF)
+	}
+	if hfm.HF < 5*hfm.LF {
+		t.Errorf("0.3 Hz modulation: LF=%v HF=%v, HF should dominate", hfm.LF, hfm.HF)
+	}
+	if lfm.LFHF < 1 || hfm.LFHF > 1 {
+		t.Errorf("LF/HF ordering wrong: %v vs %v", lfm.LFHF, hfm.LFHF)
+	}
+}
+
+func TestResampleTachogram(t *testing.T) {
+	rr := []float64{1, 1, 1, 1}
+	tach := ResampleTachogram(rr, 4)
+	if len(tach) != 16 {
+		t.Fatalf("tachogram length %d, want 16 (4 s at 4 Hz)", len(tach))
+	}
+	for i, v := range tach {
+		if math.Abs(v-1) > 1e-12 {
+			t.Errorf("constant tachogram sample %d = %v", i, v)
+		}
+	}
+	if ResampleTachogram(nil, 4) != nil {
+		t.Error("empty RR should give nil")
+	}
+	if ResampleTachogram(rr, 0) != nil {
+		t.Error("zero rate should give nil")
+	}
+}
+
+func TestSleepStageClassification(t *testing.T) {
+	deep := Metrics{LFHF: 0.5, RMSSD: 0.06}
+	if ClassifyStage(deep) != StageDeep {
+		t.Error("parasympathetic profile should be deep sleep")
+	}
+	wake := Metrics{LFHF: 4, RMSSD: 0.02}
+	if ClassifyStage(wake) != StageWake {
+		t.Error("sympathetic profile should be wake")
+	}
+	light := Metrics{LFHF: 1.8, RMSSD: 0.03}
+	if ClassifyStage(light) != StageLight {
+		t.Error("intermediate profile should be light sleep")
+	}
+	for s, want := range map[SleepStage]string{StageWake: "wake", StageLight: "light", StageDeep: "deep", SleepStage(9): "unknown"} {
+		if s.String() != want {
+			t.Errorf("stage %d string %q", s, s.String())
+		}
+	}
+}
+
+func TestSlidingWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rr := make([]float64, 100)
+	for i := range rr {
+		rr[i] = 0.8 + 0.02*rng.NormFloat64()
+	}
+	ws := SlidingWindows(rr, 32, 16)
+	if len(ws) != 5 {
+		t.Errorf("got %d windows, want 5", len(ws))
+	}
+	if SlidingWindows(rr, 4, 16) != nil {
+		t.Error("window below minimum should give nil")
+	}
+	if SlidingWindows(rr, 32, 0) != nil {
+		t.Error("zero hop should give nil")
+	}
+}
+
+func TestHRVOnSyntheticECG(t *testing.T) {
+	// End-to-end: the generator's RSA modulation must appear in the HF
+	// band of the analysed record.
+	rec := ecg.Generate(ecg.Config{Seed: 4, Duration: 300, Rhythm: ecg.RhythmConfig{HRVRSA: 0.06, HRVMayer: 0.015}})
+	m, err := Analyze(rec.RRIntervals())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HF <= 0 {
+		t.Fatal("no HF power from RSA-modulated rhythm")
+	}
+	if m.LFHF > 1.5 {
+		t.Errorf("RSA-dominated rhythm has LF/HF = %v, expected HF dominance", m.LFHF)
+	}
+	// And a Mayer-dominated rhythm flips the ratio.
+	rec2 := ecg.Generate(ecg.Config{Seed: 4, Duration: 300, Rhythm: ecg.RhythmConfig{HRVRSA: 0.01, HRVMayer: 0.06}})
+	m2, err := Analyze(rec2.RRIntervals())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.LFHF <= m.LFHF {
+		t.Errorf("Mayer-dominated LF/HF (%v) should exceed RSA-dominated (%v)", m2.LFHF, m.LFHF)
+	}
+}

@@ -1,0 +1,192 @@
+package morpho
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestErodeDilateRejectBadSE(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if _, err := ErodeFlat(x, 0); err != ErrBadSE {
+		t.Error("ErodeFlat with k=0 should fail")
+	}
+	if _, err := DilateFlat(x, -1); err != ErrBadSE {
+		t.Error("DilateFlat with k<0 should fail")
+	}
+	if _, err := ErodeFlatNaive(x, 0); err != ErrBadSE {
+		t.Error("naive erode with k=0 should fail")
+	}
+	if _, err := DilateFlatNaive(x, 0); err != ErrBadSE {
+		t.Error("naive dilate with k=0 should fail")
+	}
+}
+
+func TestErodeBasic(t *testing.T) {
+	x := []float64{5, 1, 5, 5, 5}
+	e, err := ErodeFlat(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 1, 5, 5}
+	for i := range want {
+		if e[i] != want[i] {
+			t.Errorf("ErodeFlat[%d] = %v, want %v", i, e[i], want[i])
+		}
+	}
+}
+
+func TestDilateBasic(t *testing.T) {
+	x := []float64{0, 9, 0, 0, 0}
+	d, err := DilateFlat(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{9, 9, 9, 0, 0}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("DilateFlat[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+// Property: the van Herk implementation matches the naive O(n*k) one for
+// random signals and window lengths (the ablation's correctness leg).
+func TestVanHerkMatchesNaive(t *testing.T) {
+	f := func(seed int64, kk uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + int(kk%100)
+		k := 1 + int(kk%25)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		e1, _ := ErodeFlat(x, k)
+		e2, _ := ErodeFlatNaive(x, k)
+		d1, _ := DilateFlat(x, k)
+		d2, _ := DilateFlatNaive(x, k)
+		for i := 0; i < n; i++ {
+			if e1[i] != e2[i] || d1[i] != d2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: erosion-dilation duality, erode(x) = -dilate(-x).
+func TestErosionDilationDuality(t *testing.T) {
+	f := func(seed int64, kk uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 80
+		k := 1 + int(kk%15)
+		x := make([]float64, n)
+		neg := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			neg[i] = -x[i]
+		}
+		e, _ := ErodeFlat(x, k)
+		d, _ := DilateFlat(neg, k)
+		for i := range e {
+			if e[i] != -d[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Properties: opening is anti-extensive (<= x), closing extensive (>= x),
+// both idempotent.
+func TestOpeningClosingProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	k := 7
+	o, err := OpenFlat(x, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CloseFlat(x, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if o[i] > x[i]+1e-12 {
+			t.Fatalf("opening not anti-extensive at %d: %v > %v", i, o[i], x[i])
+		}
+		if c[i] < x[i]-1e-12 {
+			t.Fatalf("closing not extensive at %d: %v < %v", i, c[i], x[i])
+		}
+	}
+	oo, _ := OpenFlat(o, k)
+	cc, _ := CloseFlat(c, k)
+	for i := range x {
+		if math.Abs(oo[i]-o[i]) > 1e-12 {
+			t.Fatalf("opening not idempotent at %d", i)
+		}
+		if math.Abs(cc[i]-c[i]) > 1e-12 {
+			t.Fatalf("closing not idempotent at %d", i)
+		}
+	}
+}
+
+func TestOpeningRemovesNarrowPeak(t *testing.T) {
+	x := make([]float64, 50)
+	x[25] = 10 // single-sample spike
+	o, err := OpenFlat(x, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range o {
+		if v != 0 {
+			t.Errorf("opening left residue %v at %d", v, i)
+		}
+	}
+}
+
+func TestClosingFillsNarrowPit(t *testing.T) {
+	x := make([]float64, 50)
+	x[25] = -10
+	c, err := CloseFlat(x, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range c {
+		if v != 0 {
+			t.Errorf("closing left residue %v at %d", v, i)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	e, err := ErodeFlat(nil, 3)
+	if err != nil || len(e) != 0 {
+		t.Error("ErodeFlat(nil) should return empty, nil error")
+	}
+}
+
+func TestMonotoneIncreasing(t *testing.T) {
+	// Erosion/dilation of a monotone signal is monotone.
+	x := make([]float64, 30)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	e, _ := ErodeFlat(x, 5)
+	d, _ := DilateFlat(x, 5)
+	for i := 1; i < len(x); i++ {
+		if e[i] < e[i-1] || d[i] < d[i-1] {
+			t.Fatalf("monotonicity violated at %d", i)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package morpho
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wbsn/internal/fixedpt"
+)
+
+func TestQ15ErodeDilateMatchFloatExactly(t *testing.T) {
+	// Order statistics commute with quantisation: the Q15 morphology of
+	// the quantised signal must equal the quantisation of the float
+	// morphology.
+	f := func(seed int64, kk uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60 + int(kk%60)
+		k := 1 + int(kk%15)
+		xq := make([]fixedpt.Q15, n)
+		xf := make([]float64, n)
+		for i := range xq {
+			xq[i] = fixedpt.FromFloat(rng.Float64()*1.6 - 0.8)
+			xf[i] = xq[i].Float()
+		}
+		eq, _ := ErodeFlatQ15(xq, k)
+		ef, _ := ErodeFlat(xf, k)
+		dq, _ := DilateFlatQ15(xq, k)
+		df, _ := DilateFlat(xf, k)
+		for i := 0; i < n; i++ {
+			if eq[i].Float() != ef[i] || dq[i].Float() != df[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQ15OpenCloseProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([]fixedpt.Q15, 200)
+	for i := range x {
+		x[i] = fixedpt.FromFloat(rng.Float64() - 0.5)
+	}
+	o, err := OpenFlatQ15(x, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CloseFlatQ15(x, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if o[i] > x[i] {
+			t.Fatalf("Q15 opening not anti-extensive at %d", i)
+		}
+		if c[i] < x[i] {
+			t.Fatalf("Q15 closing not extensive at %d", i)
+		}
+	}
+}
+
+func TestQ15Validation(t *testing.T) {
+	x := make([]fixedpt.Q15, 4)
+	if _, err := ErodeFlatQ15(x, 0); err != ErrBadSE {
+		t.Error("k=0 should fail")
+	}
+	if _, err := OpenFlatQ15(x, -1); err != ErrBadSE {
+		t.Error("negative k should fail")
+	}
+	if _, err := CloseFlatQ15(x, 0); err != ErrBadSE {
+		t.Error("k=0 closing should fail")
+	}
+	if _, err := MMDTransformQ15(x, 0); err != ErrBadSE {
+		t.Error("scale 0 should fail")
+	}
+	if _, err := FilterQ15(nil, FilterConfig{Fs: 256}); err != nil {
+		t.Error("empty input should not error")
+	}
+}
+
+func TestFilterQ15TracksFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1500
+	xf := make([]float64, n)
+	for i := range xf {
+		xf[i] = 0.3*math.Sin(2*math.Pi*float64(i)/600) + 0.002*rng.NormFloat64()
+	}
+	for p := 100; p < n-10; p += 180 {
+		for j := -4; j <= 4; j++ {
+			xf[p+j] += 0.5 * (1 - math.Abs(float64(j))/5)
+		}
+	}
+	xq := fixedpt.FromSlice(xf)
+	cfg := FilterConfig{Fs: 256}
+	ff, err := Filter(xf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq, err := FilterQ15(xq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := range ff {
+		if d := math.Abs(fq[i].Float() - ff[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.005 {
+		t.Errorf("Q15 filter deviates from float by %v (want <= 0.005)", worst)
+	}
+}
+
+func TestMMDTransformQ15MatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 300
+	xf := make([]float64, n)
+	for i := range xf {
+		xf[i] = rng.Float64()*0.8 - 0.4
+	}
+	xq := fixedpt.FromSlice(xf)
+	mf, err := MMDTransform(xf, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, err := MMDTransformQ15(xq, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mf {
+		if d := math.Abs(mq[i].Float() - mf[i]); d > 0.001 {
+			t.Fatalf("Q15 MMD deviates at %d: %v vs %v", i, mq[i].Float(), mf[i])
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package spline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNaturalRejectsBadKnots(t *testing.T) {
+	if _, err := NewNatural([]Knot{{0, 1}}); err != ErrTooFewKnots {
+		t.Error("single knot should fail")
+	}
+	if _, err := NewNatural([]Knot{{5, 1}, {5, 2}}); err != ErrKnotOrder {
+		t.Error("duplicate positions should fail")
+	}
+	if _, err := NewNatural([]Knot{{5, 1}, {3, 2}}); err != ErrKnotOrder {
+		t.Error("decreasing positions should fail")
+	}
+}
+
+func TestSplineInterpolatesKnots(t *testing.T) {
+	knots := []Knot{{0, 1}, {10, -2}, {25, 3}, {40, 0.5}}
+	sp, err := NewNatural(knots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range knots {
+		if got := sp.At(float64(k.Pos)); math.Abs(got-k.Val) > 1e-10 {
+			t.Errorf("spline at knot %d = %v, want %v", k.Pos, got, k.Val)
+		}
+	}
+}
+
+func TestSplineTwoKnotsIsLinear(t *testing.T) {
+	sp, err := NewNatural([]Knot{{0, 0}, {10, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 10; i++ {
+		want := 0.5 * float64(i)
+		if got := sp.At(float64(i)); math.Abs(got-want) > 1e-10 {
+			t.Errorf("2-knot spline at %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// Property: a natural spline through samples of a straight line
+// reproduces the line exactly (splines reproduce degree-1 polynomials).
+func TestSplineReproducesLine(t *testing.T) {
+	f := func(a8, b8 int8) bool {
+		a, b := float64(a8)/16, float64(b8)/16
+		knots := []Knot{}
+		for p := 0; p <= 60; p += 15 {
+			knots = append(knots, Knot{p, a + b*float64(p)})
+		}
+		sp, err := NewNatural(knots)
+		if err != nil {
+			return false
+		}
+		for x := 0.0; x <= 60; x += 3.7 {
+			if math.Abs(sp.At(x)-(a+b*x)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplineSmoothTracking(t *testing.T) {
+	// Knots on a slow sine: the spline must track it closely between
+	// knots.
+	var knots []Knot
+	for p := 0; p <= 1000; p += 100 {
+		knots = append(knots, Knot{p, math.Sin(2 * math.Pi * float64(p) / 1000)})
+	}
+	sp, err := NewNatural(knots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for x := 0.0; x <= 1000; x++ {
+		e := math.Abs(sp.At(x) - math.Sin(2*math.Pi*x/1000))
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.01 {
+		t.Errorf("spline tracking error %v, want < 0.01", worst)
+	}
+}
+
+func TestSplineExtrapolation(t *testing.T) {
+	sp, err := NewNatural([]Knot{{10, 0}, {20, 10}, {30, 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collinear knots: extrapolation continues the line.
+	if got := sp.At(0); math.Abs(got-(-10)) > 1e-9 {
+		t.Errorf("left extrapolation = %v, want -10", got)
+	}
+	if got := sp.At(40); math.Abs(got-30) > 1e-9 {
+		t.Errorf("right extrapolation = %v, want 30", got)
+	}
+}
+
+func TestSample(t *testing.T) {
+	sp, _ := NewNatural([]Knot{{0, 1}, {4, 5}})
+	s := sp.Sample(5)
+	if len(s) != 5 {
+		t.Fatalf("Sample length %d", len(s))
+	}
+	if s[0] != 1 || math.Abs(s[4]-5) > 1e-12 {
+		t.Errorf("Sample endpoints %v, %v", s[0], s[4])
+	}
+}
+
+func TestFindPRKnots(t *testing.T) {
+	fs := 256.0
+	n := 1024
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.25 // constant "baseline" level in the PR segments
+	}
+	qrs := []int{200, 456, 712, 5} // the last is too close to the border
+	knots := FindPRKnots(x, qrs, fs, 0, 0)
+	if len(knots) != 3 {
+		t.Fatalf("got %d knots, want 3 (border QRS skipped)", len(knots))
+	}
+	for _, k := range knots {
+		if math.Abs(k.Val-0.25) > 1e-12 {
+			t.Errorf("knot value %v, want 0.25", k.Val)
+		}
+	}
+	// Knot must sit before its QRS.
+	for i, k := range knots {
+		if k.Pos >= qrs[i] {
+			t.Errorf("knot %d at %d not before QRS %d", i, k.Pos, qrs[i])
+		}
+	}
+}
+
+func TestRemoveBaselineCorrectsDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	fs := 256.0
+	n := 4096
+	drift := make([]float64, n)
+	x := make([]float64, n)
+	var qrs []int
+	for i := range x {
+		drift[i] = 0.6 * math.Sin(2*math.Pi*float64(i)/1500)
+		x[i] = drift[i] + 0.005*rng.NormFloat64()
+	}
+	for p := 150; p < n-50; p += 220 {
+		for j := -3; j <= 3; j++ {
+			x[p+j] += 1.1 * (1 - math.Abs(float64(j))/4)
+		}
+		qrs = append(qrs, p)
+	}
+	corrected, baseline := RemoveBaseline(x, qrs, fs)
+	// Baseline estimate must track the drift within the knot span.
+	lo, hi := qrs[0], qrs[len(qrs)-1]
+	worst := 0.0
+	for i := lo; i < hi; i++ {
+		if e := math.Abs(baseline[i] - drift[i]); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.1 {
+		t.Errorf("baseline estimate error %v, want < 0.1", worst)
+	}
+	// Corrected isoelectric regions near zero.
+	for _, q := range qrs[1:] {
+		iso := q - 110 // midway between beats
+		if math.Abs(corrected[iso]) > 0.12 {
+			t.Errorf("corrected isoelectric level at %d = %v", iso, corrected[iso])
+		}
+	}
+}
+
+func TestRemoveBaselineDegenerate(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	corrected, baseline := RemoveBaseline(x, nil, 256)
+	for i := range x {
+		if corrected[i] != x[i] {
+			t.Error("with no knots the signal must pass through unchanged")
+		}
+		if baseline[i] != 0 {
+			t.Error("with no knots the baseline must be zero")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package wavelet
+
+import "math"
+
+// This file implements wavelet-shrinkage denoising, the transform-domain
+// counterpart of the morphological noise suppression of Section III.B:
+// the DWT concentrates the cardiac waves into few large coefficients
+// while broadband noise spreads thinly, so soft-thresholding the detail
+// bands removes noise with little morphological distortion. The noise
+// level is estimated per band from the median absolute deviation (MAD)
+// of the finest details, and the threshold follows the universal rule
+// σ·√(2·ln n) (Donoho-Johnstone).
+
+// DenoiseConfig parameterises wavelet shrinkage.
+type DenoiseConfig struct {
+	// Wavelet is the orthonormal basis (default Daubechies8).
+	Wavelet *Orthogonal
+	// Levels is the decomposition depth (default 4).
+	Levels int
+	// ThresholdScale multiplies the universal threshold (default 1.0).
+	ThresholdScale float64
+}
+
+func (c DenoiseConfig) withDefaults() DenoiseConfig {
+	out := c
+	if out.Wavelet == nil {
+		out.Wavelet = Daubechies8()
+	}
+	if out.Levels <= 0 {
+		out.Levels = 4
+	}
+	if out.ThresholdScale <= 0 {
+		out.ThresholdScale = 1
+	}
+	return out
+}
+
+// Denoise shrinks the detail bands of x with the non-negative garrote
+// rule (v − thr²/v beyond the threshold, zero inside), which kills noise
+// like soft thresholding but leaves large wave coefficients nearly
+// unbiased, and reconstructs. The input length must be divisible by
+// 2^levels; ErrLength otherwise.
+func Denoise(x []float64, cfg DenoiseConfig) ([]float64, error) {
+	c := cfg.withDefaults()
+	coefs, err := c.Wavelet.Forward(x, c.Levels)
+	if err != nil {
+		return nil, err
+	}
+	bands, err := LevelSlices(len(x), c.Levels)
+	if err != nil {
+		return nil, err
+	}
+	// Noise estimate from the finest detail band (the last range):
+	// σ = MAD / 0.6745.
+	finest := coefs[bands[len(bands)-1][0]:bands[len(bands)-1][1]]
+	sigma := mad(finest) / 0.6745
+	thr := c.ThresholdScale * sigma * math.Sqrt(2*math.Log(float64(len(x))))
+	// Garrote-shrink every detail band (leave the approximation).
+	for _, b := range bands[1:] {
+		for i := b[0]; i < b[1]; i++ {
+			v := coefs[i]
+			if v > thr || v < -thr {
+				coefs[i] = v - thr*thr/v
+			} else {
+				coefs[i] = 0
+			}
+		}
+	}
+	return c.Wavelet.Inverse(coefs, c.Levels)
+}
+
+// mad returns the median absolute deviation of x.
+func mad(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	abs := make([]float64, len(x))
+	for i, v := range x {
+		abs[i] = math.Abs(v)
+	}
+	return medianOf(abs)
+}
+
+// medianOf returns the median, destructively partial-sorting its input.
+func medianOf(x []float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	k := n / 2
+	lo, hi := 0, n-1
+	for lo < hi {
+		pivot := x[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for x[i] < pivot {
+				i++
+			}
+			for x[j] > pivot {
+				j--
+			}
+			if i <= j {
+				x[i], x[j] = x[j], x[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	if n%2 == 1 {
+		return x[k]
+	}
+	// Even length: average the two central order statistics; x[k] is the
+	// upper one after selection, find the max of the lower half.
+	lower := x[0]
+	for _, v := range x[:k] {
+		if v > lower {
+			lower = v
+		}
+	}
+	return (lower + x[k]) / 2
+}

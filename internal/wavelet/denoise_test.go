@@ -1,0 +1,101 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestDenoiseValidation(t *testing.T) {
+	if _, err := Denoise(make([]float64, 100), DenoiseConfig{}); err != ErrLength {
+		t.Error("non-divisible length should fail")
+	}
+}
+
+func TestDenoiseImprovesSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1024
+	clean := make([]float64, n)
+	for p := 100; p < n-20; p += 220 {
+		for i := -6; i <= 6; i++ {
+			clean[p+i] += 1.2 * math.Exp(-float64(i*i)/8)
+		}
+	}
+	noisy := make([]float64, n)
+	for i := range noisy {
+		noisy[i] = clean[i] + 0.12*rng.NormFloat64()
+	}
+	den, err := Denoise(noisy, DenoiseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eNoisy, eDen float64
+	for i := range clean {
+		dN := noisy[i] - clean[i]
+		dD := den[i] - clean[i]
+		eNoisy += dN * dN
+		eDen += dD * dD
+	}
+	gain := 10 * math.Log10(eNoisy/eDen)
+	if gain < 4 {
+		t.Errorf("denoising gain %.1f dB, want >= 4", gain)
+	}
+	// Peaks survive: the garrote keeps at least two thirds of each wave
+	// amplitude at this noise level (soft thresholding loses far more —
+	// the reason the garrote rule is used).
+	for p := 100; p < n-20; p += 220 {
+		if den[p] < 0.65*clean[p] {
+			t.Errorf("peak at %d attenuated to %v", p, den[p])
+		}
+	}
+}
+
+func TestDenoiseCleanSignalNearIdentity(t *testing.T) {
+	n := 512
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 128)
+	}
+	den, err := Denoise(x, DenoiseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := range x {
+		if d := math.Abs(den[i] - x[i]); d > worst {
+			worst = d
+		}
+	}
+	// A noise-free smooth signal has tiny fine-scale details; the MAD
+	// estimate is near zero, so shrinkage barely changes it.
+	if worst > 0.05 {
+		t.Errorf("clean signal distorted by %v", worst)
+	}
+}
+
+func TestMedianOfMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		cp := append([]float64(nil), x...)
+		got := medianOf(cp)
+		sort.Float64s(x)
+		var want float64
+		if n%2 == 1 {
+			want = x[n/2]
+		} else {
+			want = (x[n/2-1] + x[n/2]) / 2
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("medianOf(n=%d) = %v, want %v", n, got, want)
+		}
+	}
+	if medianOf(nil) != 0 || mad(nil) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+}

@@ -1,0 +1,211 @@
+// Package wavelet implements the two wavelet machines the paper relies
+// on:
+//
+//   - an orthogonal discrete wavelet transform (DWT) with periodic
+//     boundaries, used as the sparsity basis for compressed sensing
+//     (Section III.A, refs [4][16]): ECG is sparse in Daubechies wavelets,
+//     and the CS solvers in internal/cs minimise the ℓ1 norm of these
+//     coefficients;
+//
+//   - the undecimated à-trous filter bank with the quadratic-spline
+//     derivative wavelet used by the embedded delineator (Section III.C,
+//     ref [12]): wave boundaries appear as modulus-maxima pairs across
+//     scales 2¹..2⁵, and the filter coefficients are dyadic rationals so
+//     the whole transform runs with integer shifts and adds on the node
+//     (Section IV.A).
+package wavelet
+
+import "errors"
+
+// Errors returned by transform constructors and calls.
+var (
+	ErrLength = errors.New("wavelet: signal length must be divisible by 2^levels")
+	ErrLevels = errors.New("wavelet: invalid number of decomposition levels")
+)
+
+// Orthogonal holds an orthogonal wavelet's analysis low-pass filter; the
+// remaining three filters follow by quadrature-mirror relations.
+type Orthogonal struct {
+	name string
+	h    []float64 // analysis low-pass
+}
+
+// Name returns the wavelet's conventional name.
+func (w *Orthogonal) Name() string { return w.name }
+
+// Taps returns the number of filter taps.
+func (w *Orthogonal) Taps() int { return len(w.h) }
+
+// Haar returns the 2-tap Haar wavelet.
+func Haar() *Orthogonal {
+	s := 0.7071067811865476
+	return &Orthogonal{name: "haar", h: []float64{s, s}}
+}
+
+// Daubechies4 returns the 4-tap Daubechies wavelet (db2 in MATLAB
+// nomenclature, 2 vanishing moments).
+func Daubechies4() *Orthogonal {
+	return &Orthogonal{name: "db4", h: []float64{
+		0.48296291314469025, 0.83651630373746899,
+		0.22414386804185735, -0.12940952255092145,
+	}}
+}
+
+// Daubechies8 returns the 8-tap Daubechies wavelet (db4 in MATLAB
+// nomenclature, 4 vanishing moments) — the standard ECG sparsity basis in
+// the CS literature the paper builds on.
+func Daubechies8() *Orthogonal {
+	return &Orthogonal{name: "db8", h: []float64{
+		0.23037781330885523, 0.71484657055254153,
+		0.63088076792959036, -0.02798376941698385,
+		-0.18703481171888114, 0.03084138183598697,
+		0.03288301166698295, -0.01059740178499728,
+	}}
+}
+
+// Symlet8 returns the 8-tap least-asymmetric Daubechies (sym4) wavelet.
+func Symlet8() *Orthogonal {
+	return &Orthogonal{name: "sym8", h: []float64{
+		-0.07576571478927333, -0.02963552764599851,
+		0.49761866763201545, 0.80373875180591614,
+		0.29785779560527736, -0.09921954357684722,
+		-0.01260396726203783, 0.03222310060404270,
+	}}
+}
+
+// g returns the analysis high-pass filter by the alternating-flip
+// relation g[k] = (-1)^k h[L-1-k].
+func (w *Orthogonal) g() []float64 {
+	L := len(w.h)
+	g := make([]float64, L)
+	for k := 0; k < L; k++ {
+		if k%2 == 0 {
+			g[k] = w.h[L-1-k]
+		} else {
+			g[k] = -w.h[L-1-k]
+		}
+	}
+	return g
+}
+
+// analyzeOne performs one decimating analysis step with periodic
+// boundaries, writing approximation into a and detail into d
+// (each len(x)/2). len(x) must be even.
+func (w *Orthogonal) analyzeOne(x, a, d []float64) {
+	n := len(x)
+	h := w.h
+	g := w.g()
+	L := len(h)
+	for i := 0; i < n/2; i++ {
+		var sa, sd float64
+		base := 2 * i
+		for k := 0; k < L; k++ {
+			j := base + k
+			if j >= n {
+				j -= n
+			}
+			sa += h[k] * x[j]
+			sd += g[k] * x[j]
+		}
+		a[i] = sa
+		d[i] = sd
+	}
+}
+
+// synthesizeOne inverts one analysis step (periodic boundaries).
+func (w *Orthogonal) synthesizeOne(a, d, x []float64) {
+	n := len(x)
+	h := w.h
+	g := w.g()
+	L := len(h)
+	for i := range x {
+		x[i] = 0
+	}
+	for i := 0; i < n/2; i++ {
+		base := 2 * i
+		for k := 0; k < L; k++ {
+			j := base + k
+			if j >= n {
+				j -= n
+			}
+			x[j] += h[k]*a[i] + g[k]*d[i]
+		}
+	}
+}
+
+// Forward computes a 'levels'-deep periodic DWT of x and returns the
+// coefficient vector laid out as [a_L | d_L | d_{L-1} | ... | d_1], the
+// standard pyramid order. len(x) must be divisible by 2^levels and the
+// per-level length must stay >= filter length for a meaningful transform.
+func (w *Orthogonal) Forward(x []float64, levels int) ([]float64, error) {
+	if levels < 1 {
+		return nil, ErrLevels
+	}
+	n := len(x)
+	if n == 0 || n%(1<<uint(levels)) != 0 {
+		return nil, ErrLength
+	}
+	out := make([]float64, n)
+	cur := make([]float64, n)
+	copy(cur, x)
+	pos := n
+	for lev := 0; lev < levels; lev++ {
+		half := len(cur) / 2
+		a := make([]float64, half)
+		d := make([]float64, half)
+		w.analyzeOne(cur, a, d)
+		copy(out[pos-half:pos], d)
+		pos -= half
+		cur = a
+	}
+	copy(out[:len(cur)], cur)
+	return out, nil
+}
+
+// Inverse reconstructs the signal from a pyramid-ordered coefficient
+// vector produced by Forward with the same number of levels.
+func (w *Orthogonal) Inverse(c []float64, levels int) ([]float64, error) {
+	if levels < 1 {
+		return nil, ErrLevels
+	}
+	n := len(c)
+	if n == 0 || n%(1<<uint(levels)) != 0 {
+		return nil, ErrLength
+	}
+	alen := n >> uint(levels)
+	cur := make([]float64, alen)
+	copy(cur, c[:alen])
+	pos := alen
+	for lev := levels; lev >= 1; lev-- {
+		dlen := len(cur)
+		d := c[pos : pos+dlen]
+		x := make([]float64, 2*dlen)
+		w.synthesizeOne(cur, d, x)
+		cur = x
+		pos += dlen
+	}
+	return cur, nil
+}
+
+// LevelSlices describes the pyramid layout: it returns the [start,end)
+// ranges of the approximation band followed by detail bands d_L..d_1 for
+// a length-n, 'levels'-deep transform. Used by the group-sparse CS solver
+// to form coefficient groups.
+func LevelSlices(n, levels int) ([][2]int, error) {
+	if levels < 1 {
+		return nil, ErrLevels
+	}
+	if n == 0 || n%(1<<uint(levels)) != 0 {
+		return nil, ErrLength
+	}
+	var out [][2]int
+	alen := n >> uint(levels)
+	out = append(out, [2]int{0, alen})
+	pos := alen
+	for lev := levels; lev >= 1; lev-- {
+		dlen := n >> uint(lev)
+		out = append(out, [2]int{pos, pos + dlen})
+		pos += dlen
+	}
+	return out, nil
+}

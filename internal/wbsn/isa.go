@@ -1,0 +1,162 @@
+// Package wbsn simulates the synchronized ultra-low-power multi-core
+// architecture of ref [18] (Braojos et al., DATE 2014) shown in Figure 3
+// of the paper: multiple cores attached to multi-bank program and data
+// memories through interconnects whose broadcasting mechanism "merges
+// multiple identical read requests from different cores into a single
+// memory access", with hardware barriers keeping cores in lock-step so
+// single-instruction-multiple-data execution persists across
+// data-dependent branches.
+//
+// The simulator executes abstract instruction streams cycle by cycle and
+// accounts every architectural event (instruction fetches before and
+// after broadcast merging, data-bank accesses and conflicts, barrier
+// waits, divergence intervals). An energy model (energy.go) converts the
+// event counts plus a DVFS operating point into the per-component power
+// decomposition of Figure 7.
+package wbsn
+
+import "errors"
+
+// Errors returned by the simulator.
+var (
+	ErrProgram = errors.New("wbsn: invalid program")
+	ErrMachine = errors.New("wbsn: invalid machine configuration")
+)
+
+// OpKind is the class of one abstract instruction.
+type OpKind uint8
+
+// Instruction kinds.
+const (
+	// OpCompute is one ALU operation (one cycle, one fetch).
+	OpCompute OpKind = iota
+	// OpLoad reads one word from a data bank.
+	OpLoad
+	// OpStore writes one word to a data bank.
+	OpStore
+	// OpBarrier synchronises all cores in the group: a core arriving at a
+	// barrier stalls until every core reaches it (the paper's
+	// barrier-insertion technique for lock-step recovery).
+	OpBarrier
+	// OpBranch is a data-dependent conditional forward branch: each core
+	// independently takes it with probability Prob, skipping Offset
+	// instructions. Divergent outcomes break fetch merging until the next
+	// barrier realigns the cores.
+	OpBranch
+)
+
+// Instr is one abstract instruction.
+type Instr struct {
+	Kind OpKind
+	// Bank selects the data bank for OpLoad/OpStore. A negative value
+	// means "the core's private bank" (resolved at execution).
+	Bank int
+	// Prob is the per-core taken probability of an OpBranch.
+	Prob float64
+	// Offset is the number of instructions an OpBranch skips when taken.
+	Offset int
+}
+
+// Program is an instruction sequence plus the program-memory bank it is
+// stored in.
+type Program struct {
+	// Name labels the program in statistics.
+	Name string
+	// IMemBank is the program-memory bank holding the code.
+	IMemBank int
+	Instrs   []Instr
+}
+
+// Validate checks structural invariants: branch offsets must stay inside
+// the program and probabilities within [0,1].
+func (p *Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return ErrProgram
+	}
+	for i, in := range p.Instrs {
+		if in.Kind == OpBranch {
+			if in.Prob < 0 || in.Prob > 1 {
+				return ErrProgram
+			}
+			if in.Offset <= 0 || i+1+in.Offset > len(p.Instrs) {
+				return ErrProgram
+			}
+		}
+	}
+	return nil
+}
+
+// Builder assembles programs from kernel-level descriptions.
+type Builder struct {
+	p Program
+}
+
+// NewBuilder starts a program in the given instruction bank.
+func NewBuilder(name string, bank int) *Builder {
+	return &Builder{p: Program{Name: name, IMemBank: bank}}
+}
+
+// Compute appends n ALU operations.
+func (b *Builder) Compute(n int) *Builder {
+	for i := 0; i < n; i++ {
+		b.p.Instrs = append(b.p.Instrs, Instr{Kind: OpCompute})
+	}
+	return b
+}
+
+// Load appends n loads from the core's private data bank.
+func (b *Builder) Load(n int) *Builder {
+	for i := 0; i < n; i++ {
+		b.p.Instrs = append(b.p.Instrs, Instr{Kind: OpLoad, Bank: -1})
+	}
+	return b
+}
+
+// LoadShared appends n loads from an explicit shared bank.
+func (b *Builder) LoadShared(bank, n int) *Builder {
+	for i := 0; i < n; i++ {
+		b.p.Instrs = append(b.p.Instrs, Instr{Kind: OpLoad, Bank: bank})
+	}
+	return b
+}
+
+// Store appends n stores to the core's private data bank.
+func (b *Builder) Store(n int) *Builder {
+	for i := 0; i < n; i++ {
+		b.p.Instrs = append(b.p.Instrs, Instr{Kind: OpStore, Bank: -1})
+	}
+	return b
+}
+
+// Branch appends a data-dependent forward branch over the instructions
+// appended by body (executed with probability 1−prob).
+func (b *Builder) Branch(prob float64, body func(*Builder)) *Builder {
+	idx := len(b.p.Instrs)
+	b.p.Instrs = append(b.p.Instrs, Instr{Kind: OpBranch, Prob: prob})
+	body(b)
+	b.p.Instrs[idx].Offset = len(b.p.Instrs) - idx - 1
+	return b
+}
+
+// Barrier appends a synchronisation barrier.
+func (b *Builder) Barrier() *Builder {
+	b.p.Instrs = append(b.p.Instrs, Instr{Kind: OpBarrier})
+	return b
+}
+
+// Repeat appends `times` copies of the instructions produced by body.
+func (b *Builder) Repeat(times int, body func(*Builder)) *Builder {
+	for i := 0; i < times; i++ {
+		body(b)
+	}
+	return b
+}
+
+// Build finalises and validates the program.
+func (b *Builder) Build() (*Program, error) {
+	p := b.p
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
