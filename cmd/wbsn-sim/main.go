@@ -8,6 +8,7 @@
 //
 //	wbsn-sim            # Figure 7 table
 //	wbsn-sim -ablation  # additionally ablate the broadcast interconnect
+//	wbsn-sim -faulty    # sweep the lossy-link scenario instead
 package main
 
 import (
@@ -21,9 +22,16 @@ import (
 func main() {
 	var (
 		ablation = flag.Bool("ablation", false, "also run with the broadcast interconnect disabled")
+		faulty   = flag.Bool("faulty", false, "sweep the node->gateway chain across channel loss rates")
 		seed     = flag.Int64("seed", 1, "branch-outcome seed")
 	)
 	flag.Parse()
+	if *faulty {
+		if err := runFaultySweep(*seed); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 	em := wbsn.DefaultEnergy()
 	results, err := wbsn.RunFigure7(em, *seed)
 	if err != nil {

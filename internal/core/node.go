@@ -12,6 +12,8 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"math"
 	"math/rand"
 
 	"wbsn/internal/af"
@@ -21,6 +23,7 @@ import (
 	"wbsn/internal/dsp"
 	"wbsn/internal/ecg"
 	"wbsn/internal/energy"
+	"wbsn/internal/link"
 	"wbsn/internal/morpho"
 )
 
@@ -97,6 +100,15 @@ type Config struct {
 	QuantBits int
 	// Seed drives sensing-matrix generation.
 	Seed int64
+	// GateLeads enables per-lead signal-quality gating in the analysis
+	// modes: leads whose SQI falls below LeadGateMin (lead-off,
+	// saturation, heavy artifacts) are excluded from lead combination,
+	// so the node degrades from 3-lead to fewer-lead operation instead
+	// of delineating a corrupted composite.
+	GateLeads bool
+	// LeadGateMin is the minimum per-lead SQI to keep a lead (default
+	// 0.7 when GateLeads is set).
+	LeadGateMin float64
 }
 
 func (c Config) withDefaults() Config {
@@ -119,7 +131,54 @@ func (c Config) withDefaults() Config {
 	if out.BitsPerSample <= 0 {
 		out.BitsPerSample = 12
 	}
+	if out.GateLeads && out.LeadGateMin <= 0 {
+		out.LeadGateMin = 0.7
+	}
 	return out
+}
+
+// validate rejects configuration fields that would otherwise propagate
+// silently into the DSP chain: NaN or infinite rates poison every
+// filter coefficient downstream, and negative values would be masked
+// by the zero-means-default convention. Zero stays "use the default";
+// anything negative or non-finite fails fast.
+func (c Config) validate() error {
+	finite := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("%w: %s must be finite and non-negative, got %v", ErrConfig, name, v)
+		}
+		return nil
+	}
+	if err := finite("Fs", c.Fs); err != nil {
+		return err
+	}
+	if err := finite("CSRatio", c.CSRatio); err != nil {
+		return err
+	}
+	if c.CSRatio >= 100 {
+		return fmt.Errorf("%w: CSRatio %v leaves no measurements (must be < 100)", ErrConfig, c.CSRatio)
+	}
+	if err := finite("LeadGateMin", c.LeadGateMin); err != nil {
+		return err
+	}
+	if c.LeadGateMin > 1 {
+		return fmt.Errorf("%w: LeadGateMin %v outside [0, 1]", ErrConfig, c.LeadGateMin)
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"Leads", c.Leads}, {"CSWindow", c.CSWindow}, {"CSDensity", c.CSDensity},
+		{"BitsPerSample", c.BitsPerSample}, {"QuantBits", c.QuantBits},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("%w: %s must be non-negative, got %d", ErrConfig, f.name, f.v)
+		}
+	}
+	if c.BitsPerSample > 32 || c.QuantBits > 32 {
+		return fmt.Errorf("%w: sample quantisation beyond 32 bits", ErrConfig)
+	}
+	return nil
 }
 
 // Node is one configured wireless body sensor node.
@@ -134,6 +193,9 @@ type Node struct {
 
 // NewNode validates the configuration and builds the processing chain.
 func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	c := cfg.withDefaults()
 	if c.Mode < ModeRawStreaming || c.Mode > ModeAFAlarm {
 		return nil, ErrConfig
@@ -205,6 +267,9 @@ type Result struct {
 	AFDecisions []af.Decision
 	// AFAlarm reports whether the record triggered an AF alarm.
 	AFAlarm bool
+	// LeadsUsed marks which leads survived signal-quality gating (all
+	// true when gating is disabled or in the raw/CS modes).
+	LeadsUsed []bool
 	// Energy is the per-record node energy estimate.
 	Energy energy.Breakdown
 	// EnergyAvgPowerW is the average node power over the record.
@@ -230,12 +295,13 @@ func (n *Node) Process(rec *ecg.Record) (*Result, error) {
 		res.TxBytes = windows * ((mPerWin*n.cfg.BitsPerSample + 7) / 8)
 		compOps = windows * n.enc.Matrix().(*cs.SparseBinary).AddsPerWindow() * len(rec.Leads)
 	default:
-		beats, ops, err := n.analyze(rec)
+		beats, used, ops, err := n.analyze(rec)
 		if err != nil {
 			return nil, err
 		}
 		compOps = ops
 		res.Beats = beats
+		res.LeadsUsed = used
 		switch n.cfg.Mode {
 		case ModeDelineation:
 			// 9 fiducials at 2 bytes each, plus a 2-byte beat header.
@@ -271,16 +337,44 @@ func (n *Node) Process(rec *ecg.Record) (*Result, error) {
 	return res, nil
 }
 
-// analyze runs conditioning, lead combination, delineation and (in
-// classification mode) per-beat labelling, and returns the beats plus an
-// abstract operation count for the energy model.
-func (n *Node) analyze(rec *ecg.Record) ([]BeatOutput, int, error) {
-	leads := rec.Leads
+// gateLeads applies signal-quality gating: it returns the leads to
+// analyse, the per-lead usage mask, and the abstract operation count of
+// the quality checks. With gating disabled every lead passes through.
+func (n *Node) gateLeads(leads [][]float64) ([][]float64, []bool, int) {
+	used := make([]bool, len(leads))
+	for i := range used {
+		used[i] = true
+	}
+	if !n.cfg.GateLeads || len(leads) < 2 {
+		return leads, used, 0
+	}
+	mask := link.GoodLeads(leads, n.cfg.Fs, link.SQIConfig{}, n.cfg.LeadGateMin)
 	ops := 0
+	if len(leads) > 0 {
+		ops = len(leads) * len(leads[0]) * 3 // mean/RMS/peak passes
+	}
+	kept := make([][]float64, 0, len(leads))
+	for li, ok := range mask {
+		if ok {
+			kept = append(kept, leads[li])
+		}
+	}
+	if len(kept) == 0 { // GoodLeads guarantees one lead, but be safe
+		return leads, used, ops
+	}
+	return kept, mask, ops
+}
+
+// analyze runs signal-quality gating, conditioning, lead combination,
+// delineation and (in classification mode) per-beat labelling, and
+// returns the beats, the per-lead usage mask, plus an abstract
+// operation count for the energy model.
+func (n *Node) analyze(rec *ecg.Record) ([]BeatOutput, []bool, int, error) {
+	leads, used, ops := n.gateLeads(rec.Leads)
 	if !n.cfg.DisableFilter {
 		filtered, err := morpho.FilterLeads(leads, morpho.FilterConfig{Fs: n.cfg.Fs})
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		leads = filtered
 		ops += rec.Len() * len(leads) * 24 // van Herk stages per sample
@@ -289,7 +383,7 @@ func (n *Node) analyze(rec *ecg.Record) ([]BeatOutput, int, error) {
 	ops += rec.Len() * (len(leads) + 2)
 	beats, err := n.del.Delineate(combined)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	ops += rec.Len() * 30 // à-trous bank + threshold logic
 	out := make([]BeatOutput, 0, len(beats))
@@ -300,7 +394,7 @@ func (n *Node) analyze(rec *ecg.Record) ([]BeatOutput, int, error) {
 			if beat != nil {
 				label, mem, err := n.cfg.Classifier.Predict(beat)
 				if err != nil {
-					return nil, 0, err
+					return nil, nil, 0, err
 				}
 				bo.Label = label
 				bo.Membership = mem
@@ -309,7 +403,7 @@ func (n *Node) analyze(rec *ecg.Record) ([]BeatOutput, int, error) {
 		}
 		out = append(out, bo)
 	}
-	return out, ops, nil
+	return out, used, ops, nil
 }
 
 // TrainClassifier builds a heartbeat classifier from labelled records —

@@ -189,7 +189,9 @@ func (s *Stream) processChunk(chunk [][]float64, base int) ([]Event, error) {
 			events = append(events, Event{Kind: EventPacket, At: base, Bytes: bytes, Measurements: ys})
 		}
 	default:
-		leads := chunk
+		// Per-chunk signal-quality gating: a lead that faults mid-record
+		// is dropped only for the chunks it corrupts.
+		leads, _, _ := n.gateLeads(chunk)
 		if !n.cfg.DisableFilter {
 			filtered, err := morpho.FilterLeads(leads, morpho.FilterConfig{Fs: n.cfg.Fs})
 			if err != nil {

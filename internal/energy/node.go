@@ -13,10 +13,14 @@ type Breakdown struct {
 	SampleJ float64
 	CompJ   float64
 	OSJ     float64
+	// RetxJ is the radio energy spent on ARQ retransmissions beyond the
+	// first attempt per frame — zero on a lossless link, and the bar
+	// segment that grows when the channel degrades.
+	RetxJ float64
 }
 
 // TotalJ returns the summed window energy.
-func (b Breakdown) TotalJ() float64 { return b.RadioJ + b.SampleJ + b.CompJ + b.OSJ }
+func (b Breakdown) TotalJ() float64 { return b.RadioJ + b.SampleJ + b.CompJ + b.OSJ + b.RetxJ }
 
 // NodeModel bundles the component models of one WBSN node.
 type NodeModel struct {

@@ -150,6 +150,20 @@ func (b Battery) LifetimeHours(avgPowerW float64) float64 {
 	return b.CapacityJ / avgPowerW / 3600
 }
 
+// ArqEnergyJ returns the radio energy of delivering payloadBytes with
+// the given total number of transmission attempts (1 = delivered first
+// try, no retransmission). Unlike TxEnergyWithPER — the *expected* cost
+// under a memoryless error rate — this prices an *observed* ARQ
+// outcome, so a link simulation can charge exactly the retransmissions
+// that happened. Each attempt pays the full burst cost including
+// startup: the radio powers down during the backoff between attempts.
+func (r RadioModel) ArqEnergyJ(payloadBytes, attempts int) float64 {
+	if attempts < 1 {
+		return 0
+	}
+	return float64(attempts) * r.TxEnergyJ(payloadBytes)
+}
+
 // TxEnergyWithPER returns the expected delivery energy for payloadBytes
 // under a per-frame packet-error rate: each frame is retransmitted until
 // acknowledged (geometric distribution, expected 1/(1−per) attempts),

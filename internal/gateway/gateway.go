@@ -85,6 +85,10 @@ func MatchNode(n core.Config) Config {
 type Receiver struct {
 	cfg Config
 	dec *cs.Decoder
+	// m is the per-lead measurement count the configured encoder emits;
+	// packets that disagree are rejected rather than decoded into
+	// garbage.
+	m int
 	// signal accumulates the reconstructed leads.
 	signal [][]float64
 	del    *delineation.WaveletDelineator
@@ -111,16 +115,28 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Receiver{cfg: c, dec: dec, del: del}
+	r := &Receiver{cfg: c, dec: dec, m: m, del: del}
 	r.signal = make([][]float64, c.Leads)
 	return r, nil
 }
 
+// MeasurementLen returns the per-lead measurement count the receiver
+// expects in every packet.
+func (r *Receiver) MeasurementLen() int { return r.m }
+
 // ConsumePacket reconstructs one window from the node's measurement
-// packet and appends it to the receiver-side signal.
+// packet and appends it to the receiver-side signal. The packet must
+// match the configured encoder exactly — one vector per lead, each of
+// the encoder's measurement length — otherwise it returns ErrGateway
+// instead of decoding a malformed window into the signal.
 func (r *Receiver) ConsumePacket(measurements [][]float64) error {
 	if len(measurements) != r.cfg.Leads {
 		return ErrGateway
+	}
+	for _, lead := range measurements {
+		if len(lead) != r.m {
+			return ErrGateway
+		}
 	}
 	var xs [][]float64
 	var err error

@@ -1,0 +1,340 @@
+package link
+
+import (
+	"errors"
+	"math/rand"
+
+	"wbsn/internal/energy"
+)
+
+// ErrLink is returned for invalid link usage or configuration.
+var ErrLink = errors.New("link: invalid link configuration")
+
+// Sink is the receiver-side consumer of the reassembled packet stream.
+// gateway.Receiver satisfies it: delivered windows are reconstructed,
+// declared gaps are zero-filled so downstream indices stay aligned.
+type Sink interface {
+	ConsumePacket(measurements [][]float64) error
+	ConsumeLostPacket()
+}
+
+// ReassemblyStats counts the receiver-side stream repair work.
+type ReassemblyStats struct {
+	// Delivered counts packets handed to the sink in order.
+	Delivered int
+	// Duplicates counts discarded re-arrivals of already-consumed
+	// sequence numbers.
+	Duplicates int
+	// Late counts arrivals for windows already declared lost and
+	// zero-filled (released by channel reordering after ARQ gave up).
+	Late int
+	// Filled counts gaps zero-filled via the sink's ConsumeLostPacket.
+	Filled int
+	// Buffered counts packets that arrived ahead of a missing one and
+	// waited in the reorder buffer.
+	Buffered int
+}
+
+// reorderWindow bounds the reassembler's buffer of future packets:
+// jumping more than this many sequence numbers ahead declares the
+// intervening windows lost rather than waiting forever.
+const reorderWindow = 32
+
+// Reassembler restores packet order for a Sink: in-order packets pass
+// straight through, duplicates are discarded, out-of-order arrivals
+// wait in a bounded buffer, and gaps — declared by the ARQ sender or
+// implied by the buffer bound — are zero-filled so the reconstructed
+// signal keeps its sample alignment.
+type Reassembler struct {
+	sink    Sink
+	next    uint32
+	pending map[uint32]Packet
+	stats   ReassemblyStats
+}
+
+// NewReassembler builds a reassembler expecting sequence number 0
+// first.
+func NewReassembler(sink Sink) *Reassembler {
+	return &Reassembler{sink: sink, pending: make(map[uint32]Packet)}
+}
+
+// Stats returns the accumulated reassembly statistics.
+func (ra *Reassembler) Stats() ReassemblyStats { return ra.stats }
+
+// NextSeq returns the next sequence number the reassembler will
+// deliver.
+func (ra *Reassembler) NextSeq() uint32 { return ra.next }
+
+// Offer hands the reassembler one decoded packet in arrival order.
+func (ra *Reassembler) Offer(p Packet) error {
+	if p.Seq < ra.next {
+		ra.stats.Duplicates++
+		ra.stats.Late++
+		return nil
+	}
+	if _, dup := ra.pending[p.Seq]; dup {
+		ra.stats.Duplicates++
+		return nil
+	}
+	if p.Seq == ra.next {
+		if err := ra.deliver(p); err != nil {
+			return err
+		}
+		return ra.drain()
+	}
+	ra.pending[p.Seq] = p
+	ra.stats.Buffered++
+	// A packet far ahead of the expected one means the missing windows
+	// are not coming: declare them lost and catch up.
+	if p.Seq-ra.next >= reorderWindow {
+		for ra.next < p.Seq-reorderWindow/2 {
+			if _, ok := ra.pending[ra.next]; !ok {
+				ra.fill()
+			}
+			if err := ra.drain(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DeclareLost tells the reassembler the sender gave up on seq: if it is
+// the next expected window it is zero-filled immediately, otherwise the
+// declaration is a no-op (the gap logic catches it).
+func (ra *Reassembler) DeclareLost(seq uint32) error {
+	if seq != ra.next {
+		return nil
+	}
+	ra.fill()
+	return ra.drain()
+}
+
+// Flush zero-fills any remaining gaps so every buffered future packet
+// is delivered (end of transmission).
+func (ra *Reassembler) Flush() error {
+	for len(ra.pending) > 0 {
+		if _, ok := ra.pending[ra.next]; !ok {
+			ra.fill()
+		}
+		if err := ra.drain(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ra *Reassembler) deliver(p Packet) error {
+	if err := ra.sink.ConsumePacket(p.Measurements); err != nil {
+		return err
+	}
+	ra.stats.Delivered++
+	ra.next++
+	return nil
+}
+
+func (ra *Reassembler) fill() {
+	ra.sink.ConsumeLostPacket()
+	ra.stats.Filled++
+	ra.next++
+}
+
+func (ra *Reassembler) drain() error {
+	for {
+		p, ok := ra.pending[ra.next]
+		if !ok {
+			return nil
+		}
+		delete(ra.pending, ra.next)
+		if err := ra.deliver(p); err != nil {
+			return err
+		}
+	}
+}
+
+// ARQConfig parameterises the stop-and-wait sender.
+type ARQConfig struct {
+	// MaxRetries is the number of retransmissions after the first
+	// attempt before the window is declared lost (default 4).
+	MaxRetries int
+	// BackoffBaseS is the wait before the first retransmission
+	// (default 2 ms); successive waits multiply by BackoffFactor
+	// (default 2), the exponential backoff of contention MACs.
+	BackoffBaseS  float64
+	BackoffFactor float64
+	// PAckLoss is the probability that a correctly received frame's
+	// acknowledgement is lost on the reverse path — the sender
+	// retransmits a window the receiver already has, producing the
+	// duplicates the reassembler must absorb.
+	PAckLoss float64
+	// Radio prices every transmission attempt; the zero value uses
+	// energy.DefaultRadio.
+	Radio energy.RadioModel
+	// Seed drives the ack-loss randomness.
+	Seed int64
+}
+
+func (c ARQConfig) withDefaults() ARQConfig {
+	out := c
+	if out.MaxRetries <= 0 {
+		out.MaxRetries = 4
+	}
+	if out.BackoffBaseS <= 0 {
+		out.BackoffBaseS = 2e-3
+	}
+	if out.BackoffFactor <= 0 {
+		out.BackoffFactor = 2
+	}
+	if out.Radio.BitrateBps == 0 {
+		out.Radio = energy.DefaultRadio()
+	}
+	return out
+}
+
+// Report summarises one link session: delivery outcome, the radio
+// energy actually spent (every retransmission charged), and the
+// receiver-side repair statistics.
+type Report struct {
+	// Packets is the number of windows offered to the link.
+	Packets int
+	// Delivered counts windows acknowledged within the retry budget.
+	Delivered int
+	// Lost counts windows dropped after exhausting retries.
+	Lost int
+	// Attempts is the total number of transmission attempts.
+	Attempts int
+	// Retransmissions is Attempts minus first attempts.
+	Retransmissions int
+	// AcksLost counts deliveries whose acknowledgement was lost.
+	AcksLost int
+	// EnergyJ is the radio energy spent across all attempts.
+	EnergyJ float64
+	// IdealEnergyJ is the energy a lossless link would have spent (one
+	// attempt per packet) — the retransmission overhead is
+	// EnergyJ − IdealEnergyJ.
+	IdealEnergyJ float64
+	// BackoffS is the accumulated retransmission backoff latency.
+	BackoffS float64
+	// Reassembly and Channel expose the lower layers' counters.
+	Reassembly ReassemblyStats
+	Channel    ChannelStats
+}
+
+// DeliveryRatio returns Delivered/Packets (1 for an idle link).
+func (r Report) DeliveryRatio() float64 {
+	if r.Packets == 0 {
+		return 1
+	}
+	return float64(r.Delivered) / float64(r.Packets)
+}
+
+// RetransmitEnergyJ returns the energy spent beyond the lossless
+// baseline.
+func (r Report) RetransmitEnergyJ() float64 { return r.EnergyJ - r.IdealEnergyJ }
+
+// Link ties a sender-side ARQ, a Channel and a receiver-side
+// Reassembler into one simulated radio hop.
+type Link struct {
+	cfg    ARQConfig
+	ch     *Channel
+	ra     *Reassembler
+	rng    *rand.Rand
+	seq    uint32
+	report Report
+}
+
+// NewLink builds a link over the given channel delivering to sink.
+func NewLink(cfg ARQConfig, ch *Channel, sink Sink) (*Link, error) {
+	if ch == nil || sink == nil {
+		return nil, ErrLink
+	}
+	c := cfg.withDefaults()
+	if c.PAckLoss != c.PAckLoss || c.PAckLoss < 0 || c.PAckLoss > 1 {
+		return nil, ErrLink
+	}
+	return &Link{
+		cfg: c,
+		ch:  ch,
+		ra:  NewReassembler(sink),
+		rng: rand.New(rand.NewSource(c.Seed)),
+	}, nil
+}
+
+// SendMeasurements packetises one window's per-lead measurements and
+// runs the ARQ delivery. It reports whether the window was delivered
+// (false means the retry budget was exhausted and the receiver
+// zero-filled the gap); the error channel is reserved for sink
+// failures.
+func (l *Link) SendMeasurements(windowStart int, measurements [][]float64) (bool, error) {
+	p := Packet{Seq: l.seq, WindowStart: uint32(windowStart), Measurements: measurements}
+	l.seq++
+	frame, err := Encode(p)
+	if err != nil {
+		return false, err
+	}
+	l.report.Packets++
+	l.report.IdealEnergyJ += l.cfg.Radio.TxEnergyJ(len(frame))
+	backoff := l.cfg.BackoffBaseS
+	for attempt := 0; attempt <= l.cfg.MaxRetries; attempt++ {
+		l.report.Attempts++
+		if attempt > 0 {
+			l.report.Retransmissions++
+			l.report.BackoffS += backoff
+			backoff *= l.cfg.BackoffFactor
+		}
+		l.report.EnergyJ += l.cfg.Radio.TxEnergyJ(len(frame))
+		acked := false
+		for _, d := range l.ch.Transmit(frame) {
+			rx, err := Decode(d)
+			if err != nil {
+				continue // corrupted or stale garbage: no ack
+			}
+			if err := l.ra.Offer(rx); err != nil {
+				return false, err
+			}
+			// Only an intact copy of *this* window acknowledges it; a
+			// reordered older frame released now does not.
+			if rx.Seq != p.Seq {
+				continue
+			}
+			if l.cfg.PAckLoss > 0 && l.rng.Float64() < l.cfg.PAckLoss {
+				l.report.AcksLost++
+				continue
+			}
+			acked = true
+		}
+		if acked {
+			l.report.Delivered++
+			return true, nil
+		}
+	}
+	l.report.Lost++
+	if err := l.ra.DeclareLost(p.Seq); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// Close drains the channel's reordering stage and the reassembler so
+// every recoverable window reaches the sink.
+func (l *Link) Close() error {
+	for _, d := range l.ch.Drain() {
+		rx, err := Decode(d)
+		if err != nil {
+			continue
+		}
+		if err := l.ra.Offer(rx); err != nil {
+			return err
+		}
+	}
+	return l.ra.Flush()
+}
+
+// Report returns the session summary with the lower layers' statistics
+// filled in.
+func (l *Link) Report() Report {
+	r := l.report
+	r.Reassembly = l.ra.Stats()
+	r.Channel = l.ch.Stats()
+	return r
+}

@@ -1,0 +1,181 @@
+package link
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// ErrChannel is returned for invalid channel parameters.
+var ErrChannel = errors.New("link: invalid channel configuration")
+
+// ChannelConfig parameterises the Gilbert–Elliott two-state burst-loss
+// model. The channel sits in a Good or Bad state; each transmitted
+// frame sees the loss and bit-error probability of the current state,
+// then the state transitions. Body-area links are bursty — shadowing
+// by the wearer's own body holds the channel in the Bad state for
+// runs of frames — which is exactly what the two-state chain captures
+// and a memoryless loss rate does not.
+type ChannelConfig struct {
+	// PGoodToBad and PBadToGood are the per-frame state transition
+	// probabilities. Their ratio sets the stationary loss mix; their
+	// magnitude sets the burst length (mean Bad dwell = 1/PBadToGood
+	// frames).
+	PGoodToBad float64
+	PBadToGood float64
+	// LossGood and LossBad are the per-frame erasure probabilities in
+	// each state.
+	LossGood float64
+	LossBad  float64
+	// BERGood and BERBad are per-bit flip probabilities applied to
+	// delivered frames (caught by the packet CRC downstream).
+	BERGood float64
+	BERBad  float64
+	// PDuplicate is the probability a delivered frame arrives twice
+	// (MAC-level ack ambiguity).
+	PDuplicate float64
+	// PReorder is the probability a delivered frame is held back and
+	// delivered after the next transmission instead of immediately.
+	PReorder float64
+	// Seed drives all channel randomness.
+	Seed int64
+}
+
+func (c ChannelConfig) validate() error {
+	for _, p := range []float64{
+		c.PGoodToBad, c.PBadToGood, c.LossGood, c.LossBad,
+		c.BERGood, c.BERBad, c.PDuplicate, c.PReorder,
+	} {
+		if p != p || p < 0 || p > 1 { // p != p catches NaN
+			return ErrChannel
+		}
+	}
+	return nil
+}
+
+// StationaryLoss returns the long-run frame-loss probability implied by
+// the configuration (the weighted mix of the two states' loss rates).
+func (c ChannelConfig) StationaryLoss() float64 {
+	if c.PGoodToBad+c.PBadToGood == 0 {
+		return c.LossGood
+	}
+	pBad := c.PGoodToBad / (c.PGoodToBad + c.PBadToGood)
+	return (1-pBad)*c.LossGood + pBad*c.LossBad
+}
+
+// ChannelStats counts what the channel did to the traffic.
+type ChannelStats struct {
+	// Sent is the number of Transmit calls (transmission attempts).
+	Sent int
+	// Delivered counts frames handed to the receiver (duplicates count
+	// once per copy).
+	Delivered int
+	// Dropped counts erased frames.
+	Dropped int
+	// CorruptedBits counts flipped bits across all delivered frames.
+	CorruptedBits int
+	// Duplicated counts frames delivered twice.
+	Duplicated int
+	// Reordered counts frames that were held back past a later one.
+	Reordered int
+	// BadFrames counts attempts made while the channel was in the Bad
+	// state.
+	BadFrames int
+}
+
+// Channel is a seeded Gilbert–Elliott lossy link.
+type Channel struct {
+	cfg   ChannelConfig
+	rng   *rand.Rand
+	bad   bool
+	held  [][]byte // frames delayed by reordering
+	stats ChannelStats
+}
+
+// NewChannel validates the configuration and builds the channel in the
+// Good state.
+func NewChannel(cfg ChannelConfig) (*Channel, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Bad reports whether the channel is currently in the Bad state.
+func (ch *Channel) Bad() bool { return ch.bad }
+
+// Stats returns the accumulated traffic statistics.
+func (ch *Channel) Stats() ChannelStats { return ch.stats }
+
+// Transmit pushes one frame through the channel and returns the frames
+// that come out the far end — possibly none (erasure), one, or more
+// (duplication, or a previously held frame released by reordering).
+// Delivered frames are copies; corruption never aliases the caller's
+// buffer.
+func (ch *Channel) Transmit(frame []byte) [][]byte {
+	ch.stats.Sent++
+	loss, ber := ch.cfg.LossGood, ch.cfg.BERGood
+	if ch.bad {
+		ch.stats.BadFrames++
+		loss, ber = ch.cfg.LossBad, ch.cfg.BERBad
+	}
+	var out [][]byte
+	if ch.rng.Float64() < loss {
+		ch.stats.Dropped++
+	} else {
+		copies := 1
+		if ch.cfg.PDuplicate > 0 && ch.rng.Float64() < ch.cfg.PDuplicate {
+			copies = 2
+			ch.stats.Duplicated++
+		}
+		for i := 0; i < copies; i++ {
+			out = append(out, ch.corrupt(frame, ber))
+		}
+		ch.stats.Delivered += copies
+		if ch.cfg.PReorder > 0 && ch.rng.Float64() < ch.cfg.PReorder {
+			// Hold this frame's copies; they come out after the next
+			// transmission.
+			ch.held = append(ch.held, out...)
+			ch.stats.Reordered += len(out)
+			out = nil
+		}
+	}
+	if len(out) > 0 && len(ch.held) > 0 {
+		out = append(out, ch.held...)
+		ch.held = nil
+	}
+	// State transition after the frame.
+	if ch.bad {
+		if ch.rng.Float64() < ch.cfg.PBadToGood {
+			ch.bad = false
+		}
+	} else if ch.rng.Float64() < ch.cfg.PGoodToBad {
+		ch.bad = true
+	}
+	return out
+}
+
+// Drain releases any frames still held by the reordering stage (end of
+// transmission).
+func (ch *Channel) Drain() [][]byte {
+	out := ch.held
+	ch.held = nil
+	return out
+}
+
+// corrupt copies the frame, flipping each bit with probability ber.
+func (ch *Channel) corrupt(frame []byte, ber float64) []byte {
+	out := make([]byte, len(frame))
+	copy(out, frame)
+	if ber <= 0 {
+		return out
+	}
+	for i := range out {
+		for b := 0; b < 8; b++ {
+			if ch.rng.Float64() < ber {
+				out[i] ^= 1 << b
+				ch.stats.CorruptedBits++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package link
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestChannelValidation(t *testing.T) {
+	if _, err := NewChannel(ChannelConfig{LossGood: -0.1}); err != ErrChannel {
+		t.Error("negative probability should fail")
+	}
+	if _, err := NewChannel(ChannelConfig{PGoodToBad: 1.5}); err != ErrChannel {
+		t.Error("probability above 1 should fail")
+	}
+	if _, err := NewChannel(ChannelConfig{BERBad: math.NaN()}); err != ErrChannel {
+		t.Error("NaN probability should fail")
+	}
+}
+
+func TestPerfectChannelDeliversEverything(t *testing.T) {
+	ch, err := NewChannel(ChannelConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := []byte{1, 2, 3, 4}
+	for i := 0; i < 100; i++ {
+		out := ch.Transmit(frame)
+		if len(out) != 1 || !bytes.Equal(out[0], frame) {
+			t.Fatalf("transmit %d: got %d frames", i, len(out))
+		}
+	}
+	s := ch.Stats()
+	if s.Sent != 100 || s.Delivered != 100 || s.Dropped != 0 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestChannelDeterministicPerSeed(t *testing.T) {
+	cfg := ChannelConfig{
+		PGoodToBad: 0.1, PBadToGood: 0.3, LossGood: 0.02, LossBad: 0.5,
+		BERBad: 1e-4, PDuplicate: 0.05, PReorder: 0.05, Seed: 7,
+	}
+	run := func() ChannelStats {
+		ch, err := NewChannel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame := make([]byte, 64)
+		for i := 0; i < 500; i++ {
+			ch.Transmit(frame)
+		}
+		return ch.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestChannelLossMatchesStationaryRate(t *testing.T) {
+	cfg := ChannelConfig{
+		PGoodToBad: 0.05, PBadToGood: 0.25, LossGood: 0.01, LossBad: 0.6, Seed: 3,
+	}
+	ch, err := NewChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 32)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ch.Transmit(frame)
+	}
+	got := float64(ch.Stats().Dropped) / n
+	want := cfg.StationaryLoss()
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("empirical loss %.3f, stationary %.3f", got, want)
+	}
+}
+
+// TestChannelLossIsBursty verifies the Gilbert–Elliott memory: the
+// probability of a drop immediately after a drop must exceed the
+// marginal drop rate (a memoryless channel would make them equal).
+func TestChannelLossIsBursty(t *testing.T) {
+	cfg := ChannelConfig{
+		PGoodToBad: 0.02, PBadToGood: 0.15, LossGood: 0.005, LossBad: 0.7, Seed: 5,
+	}
+	ch, err := NewChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 16)
+	const n = 30000
+	drops := make([]bool, n)
+	for i := 0; i < n; i++ {
+		before := ch.Stats().Dropped
+		ch.Transmit(frame)
+		drops[i] = ch.Stats().Dropped > before
+	}
+	total, afterDrop, afterDropDrops := 0, 0, 0
+	for i := 1; i < n; i++ {
+		if drops[i] {
+			total++
+		}
+		if drops[i-1] {
+			afterDrop++
+			if drops[i] {
+				afterDropDrops++
+			}
+		}
+	}
+	marginal := float64(total) / float64(n-1)
+	conditional := float64(afterDropDrops) / float64(afterDrop)
+	if conditional < 2*marginal {
+		t.Errorf("loss not bursty: P(drop|drop)=%.3f vs marginal %.3f", conditional, marginal)
+	}
+}
+
+func TestChannelBitErrorsCorrupt(t *testing.T) {
+	ch, err := NewChannel(ChannelConfig{BERGood: 0.01, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 100)
+	corrupted := 0
+	for i := 0; i < 50; i++ {
+		for _, d := range ch.Transmit(frame) {
+			if !bytes.Equal(d, frame) {
+				corrupted++
+			}
+		}
+	}
+	if corrupted == 0 || ch.Stats().CorruptedBits == 0 {
+		t.Error("1% BER on 800-bit frames corrupted nothing")
+	}
+	for _, b := range frame {
+		if b != 0 {
+			t.Fatal("corruption aliased the caller's frame")
+		}
+	}
+}
+
+func TestChannelReorderAndDrain(t *testing.T) {
+	ch, err := NewChannel(ChannelConfig{PReorder: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every frame is held; nothing comes out until Drain.
+	if out := ch.Transmit([]byte{1}); len(out) != 0 {
+		t.Fatalf("held frame delivered early: %d", len(out))
+	}
+	drained := ch.Drain()
+	if len(drained) != 1 || drained[0][0] != 1 {
+		t.Fatalf("drain returned %v", drained)
+	}
+	if len(ch.Drain()) != 0 {
+		t.Error("second drain should be empty")
+	}
+}

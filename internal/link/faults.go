@@ -1,0 +1,187 @@
+package link
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrFault is returned for invalid fault configurations.
+var ErrFault = errors.New("link: invalid fault configuration")
+
+// FaultKind classifies a per-lead signal fault.
+type FaultKind int
+
+// Fault kinds, the analog-front-end failure modes of ambulatory
+// recording (Section II of the paper discusses exactly these
+// disturbance classes at the electrode).
+const (
+	// FaultLeadOff is a detached electrode: the lead flatlines at the
+	// amplifier's idle level with only instrumentation noise left.
+	FaultLeadOff FaultKind = iota
+	// FaultSaturation pins the lead at the front-end rail — a dried
+	// gel pad or DC offset drift beyond the amplifier's input range.
+	FaultSaturation
+	// FaultSpike adds a large electrode-motion transient with an
+	// exponential decay.
+	FaultSpike
+)
+
+// String returns the fault kind's display name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLeadOff:
+		return "lead-off"
+	case FaultSaturation:
+		return "saturation"
+	case FaultSpike:
+		return "spike"
+	default:
+		return "unknown"
+	}
+}
+
+// LeadFault is one fault episode on one lead over [Start, End) samples.
+type LeadFault struct {
+	Lead       int
+	Start, End int
+	Kind       FaultKind
+	// Level is the rail voltage (mV) for saturation and the transient
+	// amplitude (mV) for spikes; ignored for lead-off.
+	Level float64
+}
+
+// FaultConfig parameterises signal-fault injection: a deterministic
+// schedule, plus Poisson-placed random episodes per lead.
+type FaultConfig struct {
+	// Schedule holds faults applied exactly as given.
+	Schedule []LeadFault
+	// LeadOffRate is the expected number of lead-off episodes per
+	// minute per lead; LeadOffMeanS their mean duration (default 5 s).
+	LeadOffRate  float64
+	LeadOffMeanS float64
+	// SatRate and SatMeanS place rail-saturation episodes the same
+	// way; RailMV is the front-end rail (default 3.3 mV).
+	SatRate  float64
+	SatMeanS float64
+	RailMV   float64
+	// SpikeRate is the expected number of motion spikes per minute per
+	// lead; SpikeAmpMV their peak amplitude (default 2 mV).
+	SpikeRate  float64
+	SpikeAmpMV float64
+	// Seed drives the random placement.
+	Seed int64
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	out := c
+	if out.LeadOffMeanS <= 0 {
+		out.LeadOffMeanS = 5
+	}
+	if out.SatMeanS <= 0 {
+		out.SatMeanS = 5
+	}
+	if out.RailMV <= 0 {
+		out.RailMV = 3.3
+	}
+	if out.SpikeAmpMV <= 0 {
+		out.SpikeAmpMV = 2
+	}
+	return out
+}
+
+// InjectFaults returns a copy of the leads with the configured faults
+// rendered in, plus the full applied schedule (configured + random)
+// sorted by start sample. The input is never mutated.
+func InjectFaults(leads [][]float64, fs float64, cfg FaultConfig) ([][]float64, []LeadFault, error) {
+	if len(leads) == 0 || fs <= 0 {
+		return nil, nil, ErrFault
+	}
+	n := len(leads[0])
+	c := cfg.withDefaults()
+	out := make([][]float64, len(leads))
+	for li := range leads {
+		if len(leads[li]) != n {
+			return nil, nil, ErrFault
+		}
+		out[li] = append([]float64(nil), leads[li]...)
+	}
+	schedule := append([]LeadFault(nil), c.Schedule...)
+	for _, f := range schedule {
+		if f.Lead < 0 || f.Lead >= len(leads) || f.Start < 0 || f.End > n || f.Start >= f.End {
+			return nil, nil, ErrFault
+		}
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	schedule = append(schedule, randomEpisodes(rng, len(leads), n, fs, c)...)
+	sort.Slice(schedule, func(i, j int) bool {
+		if schedule[i].Start != schedule[j].Start {
+			return schedule[i].Start < schedule[j].Start
+		}
+		return schedule[i].Lead < schedule[j].Lead
+	})
+	for _, f := range schedule {
+		applyFault(out[f.Lead], f, rng)
+	}
+	return out, schedule, nil
+}
+
+// randomEpisodes draws the Poisson-placed fault episodes.
+func randomEpisodes(rng *rand.Rand, leads, n int, fs float64, c FaultConfig) []LeadFault {
+	var out []LeadFault
+	place := func(ratePerMin, meanDurS float64, kind FaultKind, level float64) {
+		if ratePerMin <= 0 {
+			return
+		}
+		perSample := ratePerMin / 60 / fs
+		for li := 0; li < leads; li++ {
+			for i := 0; i < n; i++ {
+				if rng.Float64() >= perSample {
+					continue
+				}
+				dur := int(rng.ExpFloat64() * meanDurS * fs)
+				if dur < 1 {
+					dur = 1
+				}
+				end := i + dur
+				if end > n {
+					end = n
+				}
+				out = append(out, LeadFault{Lead: li, Start: i, End: end, Kind: kind, Level: level})
+				i = end // episodes on one lead do not overlap
+			}
+		}
+	}
+	place(c.LeadOffRate, c.LeadOffMeanS, FaultLeadOff, 0)
+	place(c.SatRate, c.SatMeanS, FaultSaturation, c.RailMV)
+	place(c.SpikeRate, 0.15, FaultSpike, c.SpikeAmpMV)
+	return out
+}
+
+// applyFault renders one episode into the lead in place.
+func applyFault(x []float64, f LeadFault, rng *rand.Rand) {
+	switch f.Kind {
+	case FaultLeadOff:
+		// Flatline with residual instrumentation noise (~2 µV RMS).
+		for i := f.Start; i < f.End; i++ {
+			x[i] = 2e-3 * rng.NormFloat64()
+		}
+	case FaultSaturation:
+		for i := f.Start; i < f.End; i++ {
+			x[i] = f.Level
+		}
+	case FaultSpike:
+		tau := float64(f.End-f.Start) / 4
+		if tau < 1 {
+			tau = 1
+		}
+		amp := f.Level
+		if rng.Intn(2) == 0 {
+			amp = -amp
+		}
+		for i := f.Start; i < f.End; i++ {
+			x[i] += amp * math.Exp(-float64(i-f.Start)/tau)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package link models the lossy body-area radio link between the
+// sensor node and the gateway — the part of the paper's architecture
+// the energy ladder (Figure 1) silently assumes to be perfect. It
+// provides:
+//
+//   - a sequence-numbered packet codec with CRC-32 integrity
+//     (packet.go), so corrupted frames are detected rather than
+//     consumed;
+//   - a deterministic Gilbert–Elliott burst-loss channel with
+//     state-dependent bit errors, duplication and reordering
+//     (channel.go), the canonical model for fading body-area links;
+//   - a stop-and-wait ARQ sender with bounded retries and exponential
+//     backoff whose every transmission attempt is charged through the
+//     energy radio model (arq.go), plus a receiver-side Reassembler
+//     that handles duplicates, out-of-order arrivals and declared
+//     gaps;
+//   - per-lead signal-fault injection — lead-off flatline, rail
+//     saturation, spike artifacts (faults.go) — and a per-lead
+//     signal-quality index for gating faulted electrodes out of the
+//     analysis chain (sqi.go).
+//
+// Everything is seedable and deterministic so degraded-condition
+// experiments are exactly reproducible.
+package link
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+)
+
+// Codec errors.
+var (
+	// ErrCodec is returned for structurally malformed packets (bad
+	// magic, impossible sizes, truncation).
+	ErrCodec = errors.New("link: malformed packet")
+	// ErrCRC is returned when a packet's checksum does not match its
+	// contents — the frame was corrupted in flight.
+	ErrCRC = errors.New("link: packet CRC mismatch")
+)
+
+// Wire-format constants.
+const (
+	packetMagic0  = 'W'
+	packetMagic1  = 'L'
+	packetVersion = 1
+	headerLen     = 14 // magic(2) version(1) leads(1) seq(4) window(4) mlen(2)
+	crcLen        = 4
+	// MaxLeads bounds the lead count a packet may carry.
+	MaxLeads = 64
+	// MaxMeasurements bounds the per-lead measurement count.
+	MaxMeasurements = 4096
+)
+
+// Packet is one radio payload: the CS measurements (or raw samples) of
+// one acquisition window for every lead, tagged with a sequence number
+// so the receiver can detect duplicates, reordering and gaps.
+type Packet struct {
+	// Seq is the link-layer sequence number, assigned monotonically by
+	// the sender.
+	Seq uint32
+	// WindowStart is the absolute sample index of the window's first
+	// sample, so a late-joining receiver can align the stream.
+	WindowStart uint32
+	// Measurements holds one equal-length vector per lead.
+	Measurements [][]float64
+}
+
+// Encode serialises the packet: a fixed header, lead-major float32
+// payload, and a trailing CRC-32 (IEEE) over everything before it.
+func Encode(p Packet) ([]byte, error) {
+	leads := len(p.Measurements)
+	if leads < 1 || leads > MaxLeads {
+		return nil, ErrCodec
+	}
+	mlen := len(p.Measurements[0])
+	if mlen < 1 || mlen > MaxMeasurements {
+		return nil, ErrCodec
+	}
+	for _, l := range p.Measurements {
+		if len(l) != mlen {
+			return nil, ErrCodec
+		}
+	}
+	buf := make([]byte, headerLen+4*leads*mlen+crcLen)
+	buf[0] = packetMagic0
+	buf[1] = packetMagic1
+	buf[2] = packetVersion
+	buf[3] = byte(leads)
+	binary.BigEndian.PutUint32(buf[4:], p.Seq)
+	binary.BigEndian.PutUint32(buf[8:], p.WindowStart)
+	binary.BigEndian.PutUint16(buf[12:], uint16(mlen))
+	off := headerLen
+	for _, l := range p.Measurements {
+		for _, v := range l {
+			binary.BigEndian.PutUint32(buf[off:], math.Float32bits(float32(v)))
+			off += 4
+		}
+	}
+	binary.BigEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
+	return buf, nil
+}
+
+// Decode parses and validates one frame. Structural problems return
+// ErrCodec; an intact structure with a bad checksum returns ErrCRC
+// (the receiver treats both as "frame not received" and lets ARQ
+// recover it).
+func Decode(b []byte) (Packet, error) {
+	if len(b) < headerLen+crcLen {
+		return Packet{}, ErrCodec
+	}
+	if b[0] != packetMagic0 || b[1] != packetMagic1 || b[2] != packetVersion {
+		return Packet{}, ErrCodec
+	}
+	leads := int(b[3])
+	mlen := int(binary.BigEndian.Uint16(b[12:]))
+	if leads < 1 || leads > MaxLeads || mlen < 1 || mlen > MaxMeasurements {
+		return Packet{}, ErrCodec
+	}
+	want := headerLen + 4*leads*mlen + crcLen
+	if len(b) != want {
+		return Packet{}, ErrCodec
+	}
+	body := len(b) - crcLen
+	if crc32.ChecksumIEEE(b[:body]) != binary.BigEndian.Uint32(b[body:]) {
+		return Packet{}, ErrCRC
+	}
+	p := Packet{
+		Seq:          binary.BigEndian.Uint32(b[4:]),
+		WindowStart:  binary.BigEndian.Uint32(b[8:]),
+		Measurements: make([][]float64, leads),
+	}
+	off := headerLen
+	for li := range p.Measurements {
+		l := make([]float64, mlen)
+		for i := range l {
+			l[i] = float64(math.Float32frombits(binary.BigEndian.Uint32(b[off:])))
+			off += 4
+		}
+		p.Measurements[li] = l
+	}
+	return p, nil
+}
+
+// FrameBytes returns the encoded size of a packet with the given
+// geometry — what the radio model charges per attempt.
+func FrameBytes(leads, measurementsPerLead int) int {
+	return headerLen + 4*leads*measurementsPerLead + crcLen
+}
