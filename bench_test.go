@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"wbsn/internal/af"
 	"wbsn/internal/classify"
@@ -680,27 +682,32 @@ func BenchmarkAblationQRSBaseline(b *testing.B) {
 
 // BenchmarkGatewayEndToEnd times the full compress → transmit →
 // reconstruct loop for one 2-second 3-lead window (the receiver budget
-// that ref [5]'s real-time iPhone decoder must meet).
+// that ref [5]'s real-time iPhone decoder must meet). Stream and
+// receiver construction happens once, outside the timed loop — the
+// steady-state per-record cost is the quantity under test; construction
+// is measured separately by BenchmarkGatewaySetup.
 func BenchmarkGatewayEndToEnd(b *testing.B) {
 	rec := ecg.Generate(ecg.Config{Seed: 90, Duration: 4})
 	node, err := core.NewNode(core.Config{Mode: core.ModeCS, CSRatio: 60, Seed: 14})
 	if err != nil {
 		b.Fatal(err)
 	}
+	stream, err := node.NewStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx, err := gateway.NewReceiver(gateway.MatchNode(node.Config()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([][]float64, len(rec.Leads))
+	for li := range chunk {
+		chunk[li] = rec.Clean[li]
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		stream, err := node.NewStream()
-		if err != nil {
-			b.Fatal(err)
-		}
-		rx, err := gateway.NewReceiver(gateway.MatchNode(node.Config()))
-		if err != nil {
-			b.Fatal(err)
-		}
-		chunk := make([][]float64, len(rec.Leads))
-		for li := range chunk {
-			chunk[li] = rec.Clean[li]
-		}
+		stream.Reset()
+		rx.Reset()
 		events, err := stream.PushBlock(chunk)
 		if err != nil {
 			b.Fatal(err)
@@ -709,6 +716,104 @@ func BenchmarkGatewayEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGatewaySetup isolates the construction cost the end-to-end
+// benchmark used to hide inside its timed loop: sensing-matrix
+// regeneration, solver derivation (Lipschitz bound, synthesis tables)
+// and delineator setup.
+func BenchmarkGatewaySetup(b *testing.B) {
+	node, err := core.NewNode(core.Config{Mode: core.ModeCS, CSRatio: 60, Seed: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := gateway.MatchNode(node.Config())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := node.NewStream(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gateway.NewReceiver(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThroughputEngine drives the parallel reconstruction engine
+// over a pre-encoded record batch at 1, 2 and GOMAXPROCS workers,
+// reporting records/s and windows/s as custom metrics.
+func BenchmarkThroughputEngine(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 92, Duration: 8})
+	node, err := core.NewNode(core.Config{Mode: core.ModeCS, CSRatio: 60, Seed: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := node.NewStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([][]float64, len(rec.Leads))
+	for li := range chunk {
+		chunk[li] = rec.Clean[li]
+	}
+	events, err := stream.PushBlock(chunk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var windows [][][]float64
+	for _, e := range events {
+		if e.Kind == core.EventPacket && e.Measurements != nil {
+			windows = append(windows, e.Measurements)
+		}
+	}
+	cfg := gateway.MatchNode(node.Config())
+	workerSet := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, workers := range workerSet {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := gateway.NewEngine(cfg, gateway.EngineConfig{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.DecodeWindows(windows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			secs := time.Since(start).Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "records/s")
+				b.ReportMetric(float64(b.N*len(windows))/secs, "windows/s")
+			}
+		})
+	}
+}
+
+// BenchmarkReconstructParallel hammers one shared decoder from all
+// procs via b.RunParallel — the contention profile of the engine's
+// worker pool (scratch pools, immutable decoder state).
+func BenchmarkReconstructParallel(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 93, Duration: 4})
+	m := cs.MeasurementsForCR(512, 65.9)
+	phi, err := cs.NewSparseBinary(m, 512, 4, rand.New(rand.NewSource(7)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := cs.NewDecoder(phi, cs.SolverConfig{Iters: 60, Reweights: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := cs.NewEncoder(phi).Encode(rec.Clean[0][:512])
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := dec.Reconstruct(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationBaselineRemoval compares the paper's two baseline-

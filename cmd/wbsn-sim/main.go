@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	wbsn-sim            # Figure 7 table
-//	wbsn-sim -ablation  # additionally ablate the broadcast interconnect
-//	wbsn-sim -faulty    # sweep the lossy-link scenario instead
+//	wbsn-sim             # Figure 7 table
+//	wbsn-sim -ablation   # additionally ablate the broadcast interconnect
+//	wbsn-sim -faulty     # sweep the lossy-link scenario instead
+//	wbsn-sim -throughput # sweep the gateway engine across worker counts
 package main
 
 import (
@@ -21,13 +22,20 @@ import (
 
 func main() {
 	var (
-		ablation = flag.Bool("ablation", false, "also run with the broadcast interconnect disabled")
-		faulty   = flag.Bool("faulty", false, "sweep the node->gateway chain across channel loss rates")
-		seed     = flag.Int64("seed", 1, "branch-outcome seed")
+		ablation   = flag.Bool("ablation", false, "also run with the broadcast interconnect disabled")
+		faulty     = flag.Bool("faulty", false, "sweep the node->gateway chain across channel loss rates")
+		throughput = flag.Bool("throughput", false, "sweep the gateway reconstruction engine across worker counts")
+		seed       = flag.Int64("seed", 1, "branch-outcome seed")
 	)
 	flag.Parse()
 	if *faulty {
 		if err := runFaultySweep(*seed); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if *throughput {
+		if err := runThroughputSweep(*seed); err != nil {
 			fatalf("%v", err)
 		}
 		return

@@ -1,0 +1,138 @@
+package main
+
+// The -throughput sweep measures the gateway reconstruction engine:
+// a batch of CS-encoded records is decoded at increasing worker counts
+// and the sweep reports records/s, windows/s and the speedup over one
+// worker, verifying along the way that every parallel reconstruction is
+// bit identical to the serial one.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"wbsn/internal/core"
+	"wbsn/internal/ecg"
+	"wbsn/internal/gateway"
+)
+
+// encodeThroughputBatch runs records through ModeCS node streams and
+// returns one window batch per record.
+func encodeThroughputBatch(records int, duration float64, seed int64) ([][][][]float64, core.Config, error) {
+	batches := make([][][][]float64, 0, records)
+	var ncfg core.Config
+	for r := 0; r < records; r++ {
+		rec := ecg.Generate(ecg.Config{Seed: seed + int64(r), Duration: duration})
+		node, err := core.NewNode(core.Config{Mode: core.ModeCS, CSRatio: 60, Seed: seed})
+		if err != nil {
+			return nil, ncfg, err
+		}
+		ncfg = node.Config()
+		stream, err := node.NewStream()
+		if err != nil {
+			return nil, ncfg, err
+		}
+		chunk := make([][]float64, len(rec.Leads))
+		for li := range chunk {
+			chunk[li] = rec.Clean[li]
+		}
+		events, err := stream.PushBlock(chunk)
+		if err != nil {
+			return nil, ncfg, err
+		}
+		var windows [][][]float64
+		for _, e := range events {
+			if e.Kind == core.EventPacket && e.Measurements != nil {
+				windows = append(windows, e.Measurements)
+			}
+		}
+		batches = append(batches, windows)
+	}
+	return batches, ncfg, nil
+}
+
+func runThroughputSweep(seed int64) error {
+	const (
+		records  = 4
+		duration = 8.0 // seconds per record
+	)
+	batches, ncfg, err := encodeThroughputBatch(records, duration, seed)
+	if err != nil {
+		return err
+	}
+	cfg := gateway.MatchNode(ncfg)
+	totalWindows := 0
+	for _, b := range batches {
+		totalWindows += len(b)
+	}
+	maxW := runtime.GOMAXPROCS(0)
+	fmt.Printf("== Gateway reconstruction throughput: %d records x %.0f s, %d windows, GOMAXPROCS=%d ==\n",
+		records, duration, totalWindows, maxW)
+	fmt.Printf("%-8s %12s %12s %10s %9s\n", "workers", "records/s", "windows/s", "wall(ms)", "speedup")
+
+	var reference [][][][]float64 // per-record decoded windows at workers=1
+	var base time.Duration
+	// Sweep 1, 2, 4, ... up to GOMAXPROCS but at least 4, so the
+	// multi-worker path is exercised (and its bit-identity checked) even
+	// on a single-core host, where the speedup honestly reports ~1x.
+	top := maxW
+	if top < 4 {
+		top = 4
+	}
+	workerSet := []int{1}
+	for w := 2; w <= top; w *= 2 {
+		workerSet = append(workerSet, w)
+	}
+	if last := workerSet[len(workerSet)-1]; last != top {
+		workerSet = append(workerSet, top)
+	}
+	for _, workers := range workerSet {
+		eng, err := gateway.NewEngine(cfg, gateway.EngineConfig{Workers: workers})
+		if err != nil {
+			return err
+		}
+		decoded := make([][][][]float64, len(batches))
+		start := time.Now()
+		for bi, windows := range batches {
+			decoded[bi], err = eng.DecodeWindows(windows)
+			if err != nil {
+				eng.Close()
+				return err
+			}
+		}
+		wall := time.Since(start)
+		eng.Close()
+		if reference == nil {
+			reference = decoded
+			base = wall
+		} else if err := verifyIdentical(reference, decoded); err != nil {
+			return fmt.Errorf("workers=%d: %w", workers, err)
+		}
+		secs := wall.Seconds()
+		fmt.Printf("%-8d %12.2f %12.2f %10.1f %8.2fx\n",
+			workers, float64(records)/secs, float64(totalWindows)/secs,
+			wall.Seconds()*1e3, base.Seconds()/secs)
+	}
+	fmt.Println("\nall worker counts produced bit-identical reconstructions")
+	return nil
+}
+
+// verifyIdentical confirms the parallel decode matches the serial
+// reference bit for bit.
+func verifyIdentical(want, got [][][][]float64) error {
+	for bi := range want {
+		if len(got[bi]) != len(want[bi]) {
+			return fmt.Errorf("record %d: %d windows, want %d", bi, len(got[bi]), len(want[bi]))
+		}
+		for wi := range want[bi] {
+			for li := range want[bi][wi] {
+				for i := range want[bi][wi][li] {
+					if got[bi][wi][li][i] != want[bi][wi][li][i] {
+						return fmt.Errorf("record %d window %d lead %d sample %d: not bit-identical to serial", bi, wi, li, i)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -63,6 +63,12 @@ type Stream struct {
 	// beats accumulated for AF windowing (absolute Rs).
 	afBeats []delineation.BeatFiducials
 	afEmit  int // beats already covered by emitted AF windows
+	// reusable per-chunk work buffers: events only reference fiducials
+	// and labels, never these sample buffers, so reuse across chunks is
+	// safe.
+	morph    morpho.Scratch
+	filtered [][]float64
+	combined []float64
 }
 
 // NewStream creates a streaming processor for the node's mode.
@@ -83,6 +89,20 @@ func (n *Node) NewStream() (*Stream, error) {
 		s.hop = s.chunkLen - int(1*n.cfg.Fs)
 	}
 	return s, nil
+}
+
+// Reset returns the stream to its initial state (as if freshly created)
+// while keeping its allocated buffers, so one stream can replay many
+// records without reconstruction cost.
+func (s *Stream) Reset() {
+	s.pos = 0
+	s.bufStart = 0
+	s.lastBeatR = -1
+	s.afBeats = s.afBeats[:0]
+	s.afEmit = 0
+	for i := range s.buf {
+		s.buf[i] = s.buf[i][:0]
+	}
 }
 
 // Push appends one multi-lead sample (one value per lead) and returns
@@ -193,13 +213,15 @@ func (s *Stream) processChunk(chunk [][]float64, base int) ([]Event, error) {
 		// is dropped only for the chunks it corrupts.
 		leads, _, _ := n.gateLeads(chunk)
 		if !n.cfg.DisableFilter {
-			filtered, err := morpho.FilterLeads(leads, morpho.FilterConfig{Fs: n.cfg.Fs})
+			filtered, err := morpho.FilterLeadsInto(leads, morpho.FilterConfig{Fs: n.cfg.Fs}, s.filtered, &s.morph)
 			if err != nil {
 				return nil, err
 			}
+			s.filtered = filtered
 			leads = filtered
 		}
-		combined := dsp.CombineRMS(leads)
+		s.combined = dsp.CombineRMSInto(leads, s.combined)
+		combined := s.combined
 		beats, err := n.del.Delineate(combined)
 		if err != nil {
 			return nil, err

@@ -59,12 +59,12 @@ func (e *Encoder) EncodeQ15(x []fixedpt.Q15) []int32 {
 		panic("cs: EncodeQ15 window length mismatch")
 	}
 	y := make([]int32, sb.m)
-	for c, rows := range sb.rowIdx {
+	for c := 0; c < sb.n; c++ {
 		v := int32(x[c])
 		if v == 0 {
 			continue
 		}
-		for _, r := range rows {
+		for _, r := range sb.col(c) {
 			y[r] += v
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync"
 
 	"wbsn/internal/wavelet"
 )
@@ -62,12 +63,19 @@ func (c SolverConfig) withDefaults() SolverConfig {
 // channels, as each lead then observes the common support through a
 // different projection (the JSM-2 setting of the distributed-CS
 // literature underlying ref [6]).
+// All fields are immutable after construction; per-call work buffers come
+// from the scratch pool, so one Decoder may reconstruct from many
+// goroutines concurrently.
 type Decoder struct {
 	phis    []Matrix
 	cfg     SolverConfig
 	lip     float64 // max ||Φ_l||² (orthonormal Ψ preserves operator norms)
+	step    float64 // 1/lip, the FISTA gradient step (cached)
 	n, m    int
 	weights []float64 // per-coefficient penalty weights (0 = unpenalised)
+	alen    int       // approximation-band length n >> Levels
+	parent  []int     // rooted wavelet-tree parents (TreeIHT model)
+	pool    *sync.Pool // *solverScratch
 }
 
 // NewDecoder builds a decoder in which every lead shares the one sensing
@@ -104,17 +112,34 @@ func NewJointDecoder(phis []Matrix, cfg SolverConfig) (*Decoder, error) {
 		return nil, ErrSolver
 	}
 	d := &Decoder{phis: phis, cfg: c, lip: lip * 1.02, n: n, m: m}
+	d.step = 1 / d.lip
+	d.alen = n >> uint(c.Levels)
 	d.weights = make([]float64, n)
 	for i := range d.weights {
 		d.weights[i] = 1
 	}
 	if !c.PenalizeApprox {
-		alen := n >> uint(c.Levels)
-		for i := 0; i < alen; i++ {
+		for i := 0; i < d.alen; i++ {
 			d.weights[i] = 0
 		}
 	}
+	parent, err := treeStructure(n, c.Levels)
+	if err != nil {
+		return nil, err
+	}
+	d.parent = parent
+	d.pool = newScratchPool(n, m)
 	return d, nil
+}
+
+// Clone returns a decoder that shares every piece of immutable derived
+// state — sensing matrices, Lipschitz bound, penalty weights, tree
+// tables — but owns a private scratch pool. Engine workers use clones so
+// their steady-state buffers never migrate between OS threads.
+func (d *Decoder) Clone() *Decoder {
+	out := *d
+	out.pool = newScratchPool(d.n, d.m)
+	return &out
 }
 
 // matrixFor returns the sensing matrix used by lead l.
@@ -143,17 +168,31 @@ func (d *Decoder) analyze(x []float64) []float64 {
 	return t
 }
 
-// gradient computes ∇f(θ) = Ψᵀ Φᵀ(Φ Ψ θ − y) for the given lead matrix.
-func (d *Decoder) gradient(phi Matrix, theta, y []float64) []float64 {
-	x := d.synth(theta)
-	ax := make([]float64, d.m)
-	phi.Apply(x, ax)
-	for i := range ax {
-		ax[i] -= y[i]
+// synthInto is synth writing into out, drawing DWT intermediates from s.
+func (d *Decoder) synthInto(theta, out []float64, s *solverScratch) {
+	if err := d.cfg.Wavelet.InverseInto(theta, d.cfg.Levels, out, &s.ws); err != nil {
+		panic("cs: internal synthesis error: " + err.Error())
 	}
-	z := make([]float64, d.n)
-	phi.ApplyT(ax, z)
-	return d.analyze(z)
+}
+
+// analyzeInto is analyze writing into out, drawing DWT intermediates
+// from s.
+func (d *Decoder) analyzeInto(x, out []float64, s *solverScratch) {
+	if err := d.cfg.Wavelet.ForwardInto(x, d.cfg.Levels, out, &s.ws); err != nil {
+		panic("cs: internal analysis error: " + err.Error())
+	}
+}
+
+// gradInto computes ∇f(θ) = Ψᵀ Φᵀ(Φ Ψ θ − y) into dst for the given lead
+// matrix. It clobbers s.x, s.ax and s.z; dst must not alias them.
+func (d *Decoder) gradInto(phi Matrix, theta, y, dst []float64, s *solverScratch) {
+	d.synthInto(theta, s.x, s)
+	phi.Apply(s.x, s.ax)
+	for i := range s.ax {
+		s.ax[i] -= y[i]
+	}
+	phi.ApplyT(s.ax, s.z)
+	d.analyzeInto(s.z, dst, s)
 }
 
 // softThreshold applies the ℓ1 proximal operator elementwise.
@@ -179,21 +218,19 @@ func (d *Decoder) reconstructWith(phi Matrix, y []float64) ([]float64, error) {
 	if len(y) != d.m {
 		return nil, ErrSolver
 	}
-	z := make([]float64, d.n)
-	phi.ApplyT(y, z)
-	aty := d.analyze(z)
+	s := d.pool.Get().(*solverScratch)
+	defer d.pool.Put(s)
+	phi.ApplyT(y, s.z)
+	d.analyzeInto(s.z, s.aty, s)
 	maxAbs := 0.0
-	for _, v := range aty {
+	for _, v := range s.aty {
 		if a := math.Abs(v); a > maxAbs {
 			maxAbs = a
 		}
 	}
 	lambda := d.cfg.LambdaRel * maxAbs
-	step := 1 / d.lip
-	theta := make([]float64, d.n)
-	prev := make([]float64, d.n)
-	mom := make([]float64, d.n)
-	rw := make([]float64, d.n)
+	step := d.step
+	theta, prev, mom, rw := s.theta, s.prev, s.mom, s.rw
 	for i := range rw {
 		rw[i] = 1
 	}
@@ -205,10 +242,10 @@ func (d *Decoder) reconstructWith(phi Matrix, y []float64) ([]float64, error) {
 		}
 		tk := 1.0
 		for it := 0; it < d.cfg.Iters; it++ {
-			grad := d.gradient(phi, mom, y)
+			d.gradInto(phi, mom, y, s.grad, s)
 			copy(prev, theta)
 			for i := range theta {
-				theta[i] = softThreshold(mom[i]-step*grad[i], step*lambda*d.weights[i]*rw[i])
+				theta[i] = softThreshold(mom[i]-step*s.grad[i], step*lambda*d.weights[i]*rw[i])
 			}
 			tNext := (1 + math.Sqrt(1+4*tk*tk)) / 2
 			beta := (tk - 1) / tNext
@@ -232,7 +269,9 @@ func (d *Decoder) reconstructWith(phi Matrix, y []float64) ([]float64, error) {
 			rw[i] = eps / (math.Abs(theta[i]) + eps)
 		}
 	}
-	return d.synth(theta), nil
+	out := make([]float64, d.n)
+	d.synthInto(theta, out, s)
+	return out, nil
 }
 
 // ReconstructLeads reconstructs each lead independently — the
@@ -273,8 +312,11 @@ func (d *Decoder) ReconstructJoint(ys [][]float64) ([][]float64, error) {
 			return nil, ErrSolver
 		}
 	}
-	gains := make([]float64, L)
-	ysn := make([][]float64, L)
+	s := d.pool.Get().(*solverScratch)
+	defer d.pool.Put(s)
+	s.ensureLeads(L, d.n, d.m)
+	gains := s.gains[:L]
+	ysn := s.ysn[:L]
 	for l, y := range ys {
 		rms := 0.0
 		for _, v := range y {
@@ -285,42 +327,37 @@ func (d *Decoder) ReconstructJoint(ys [][]float64) ([][]float64, error) {
 			rms = 1
 		}
 		gains[l] = rms
-		yn := make([]float64, len(y))
 		inv := 1 / rms
 		for i, v := range y {
-			yn[i] = v * inv
+			ysn[l][i] = v * inv
 		}
-		ysn[l] = yn
 	}
-	// λ from the group norms of the back-projected data.
+	// λ from the group norms of the back-projected data, accumulated
+	// lead by lead so the per-lead back-projections need no storage.
+	norms := s.norms
+	for j := range norms {
+		norms[j] = 0
+	}
+	for l := 0; l < L; l++ {
+		d.matrixFor(l).ApplyT(ysn[l], s.z)
+		d.analyzeInto(s.z, s.aty, s)
+		for j, v := range s.aty {
+			norms[j] += v * v
+		}
+	}
 	groupMax := 0.0
-	atys := make([][]float64, L)
-	for l, y := range ysn {
-		z := make([]float64, d.n)
-		d.matrixFor(l).ApplyT(y, z)
-		atys[l] = d.analyze(z)
-	}
-	for j := 0; j < d.n; j++ {
-		g := 0.0
-		for l := 0; l < L; l++ {
-			g += atys[l][j] * atys[l][j]
-		}
+	for _, g := range norms {
 		if g > groupMax {
 			groupMax = g
 		}
 	}
 	lambda := d.cfg.LambdaRel * math.Sqrt(groupMax)
-	step := 1 / d.lip
-	theta := make([][]float64, L)
-	prev := make([][]float64, L)
-	mom := make([][]float64, L)
-	for l := 0; l < L; l++ {
-		theta[l] = make([]float64, d.n)
-		prev[l] = make([]float64, d.n)
-		mom[l] = make([]float64, d.n)
-	}
-	grads := make([][]float64, L)
-	rw := make([]float64, d.n)
+	step := d.step
+	theta := s.jtheta[:L]
+	prev := s.jprev[:L]
+	mom := s.jmom[:L]
+	grads := s.jgrad[:L]
+	rw := s.rw
 	for j := range rw {
 		rw[j] = 1
 	}
@@ -335,7 +372,7 @@ func (d *Decoder) ReconstructJoint(ys [][]float64) ([][]float64, error) {
 		tk := 1.0
 		for it := 0; it < d.cfg.Iters; it++ {
 			for l := 0; l < L; l++ {
-				grads[l] = d.gradient(d.matrixFor(l), mom[l], ysn[l])
+				d.gradInto(d.matrixFor(l), mom[l], ysn[l], grads[l], s)
 			}
 			for l := 0; l < L; l++ {
 				copy(prev[l], theta[l])
@@ -377,7 +414,6 @@ func (d *Decoder) ReconstructJoint(ys [][]float64) ([][]float64, error) {
 			break
 		}
 		// Group-level reweighting around the current estimate.
-		norms := make([]float64, d.n)
 		peak := 0.0
 		for j := 0; j < d.n; j++ {
 			g := 0.0
@@ -396,7 +432,8 @@ func (d *Decoder) ReconstructJoint(ys [][]float64) ([][]float64, error) {
 	}
 	out := make([][]float64, L)
 	for l := 0; l < L; l++ {
-		out[l] = d.synth(theta[l])
+		out[l] = make([]float64, d.n)
+		d.synthInto(theta[l], out[l], s)
 		for i := range out[l] {
 			out[l][i] *= gains[l]
 		}

@@ -47,9 +47,12 @@ type Matrix interface {
 type SparseBinary struct {
 	m, n int
 	d    int
-	// rowIdx[c] lists the d row indices of column c.
-	rowIdx [][]int
-	scale  float64
+	// idx is the flattened column index list: idx[c*d : (c+1)*d] holds
+	// the d row indices of column c. One contiguous allocation instead of
+	// n small slices keeps Apply/ApplyT — the innermost kernels of every
+	// FISTA iteration — walking a single cache-friendly array.
+	idx   []int32
+	scale float64
 }
 
 // NewSparseBinary builds an m×n sparse-binary sensing matrix with d
@@ -61,23 +64,24 @@ func NewSparseBinary(m, n, d int, rng *rand.Rand) (*SparseBinary, error) {
 	if d < 1 || d > m {
 		return nil, ErrDensity
 	}
-	sb := &SparseBinary{m: m, n: n, d: d, rowIdx: make([][]int, n), scale: 1 / math.Sqrt(float64(d))}
+	sb := &SparseBinary{m: m, n: n, d: d, idx: make([]int32, n*d), scale: 1 / math.Sqrt(float64(d))}
 	perm := make([]int, m)
 	for c := 0; c < n; c++ {
 		// Sample d distinct rows by partial Fisher-Yates.
 		for i := range perm {
 			perm[i] = i
 		}
-		rows := make([]int, d)
 		for i := 0; i < d; i++ {
 			j := i + rng.Intn(m-i)
 			perm[i], perm[j] = perm[j], perm[i]
-			rows[i] = perm[i]
+			sb.idx[c*d+i] = int32(perm[i])
 		}
-		sb.rowIdx[c] = rows
 	}
 	return sb, nil
 }
+
+// col returns the row indices of column c.
+func (s *SparseBinary) col(c int) []int32 { return s.idx[c*s.d : (c+1)*s.d] }
 
 // Rows returns the number of measurements m.
 func (s *SparseBinary) Rows() int { return s.m }
@@ -93,12 +97,12 @@ func (s *SparseBinary) Apply(x, y []float64) {
 	for i := range y {
 		y[i] = 0
 	}
-	for c, rows := range s.rowIdx {
-		v := x[c]
+	d := s.d
+	for c, v := range x[:s.n] {
 		if v == 0 {
 			continue
 		}
-		for _, r := range rows {
+		for _, r := range s.idx[c*d : (c+1)*d] {
 			y[r] += v
 		}
 	}
@@ -109,9 +113,10 @@ func (s *SparseBinary) Apply(x, y []float64) {
 
 // ApplyT computes z = Φᵀr.
 func (s *SparseBinary) ApplyT(r, z []float64) {
-	for c, rows := range s.rowIdx {
+	d := s.d
+	for c := 0; c < s.n; c++ {
 		acc := 0.0
-		for _, ri := range rows {
+		for _, ri := range s.idx[c*d : (c+1)*d] {
 			acc += r[ri]
 		}
 		z[c] = acc * s.scale

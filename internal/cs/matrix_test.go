@@ -33,13 +33,14 @@ func TestSparseBinaryStructure(t *testing.T) {
 	if sb.Rows() != m || sb.Cols() != n || sb.Density() != d {
 		t.Error("dimensions not reported correctly")
 	}
-	for c, rows := range sb.rowIdx {
+	for c := 0; c < n; c++ {
+		rows := sb.col(c)
 		if len(rows) != d {
 			t.Fatalf("column %d has %d nonzeros, want %d", c, len(rows), d)
 		}
-		seen := map[int]bool{}
+		seen := map[int32]bool{}
 		for _, r := range rows {
-			if r < 0 || r >= m {
+			if r < 0 || int(r) >= m {
 				t.Fatalf("column %d row index %d out of range", c, r)
 			}
 			if seen[r] {
@@ -187,11 +188,9 @@ func TestMeasurementsForCR(t *testing.T) {
 func TestSparseBinaryDeterministic(t *testing.T) {
 	a, _ := NewSparseBinary(32, 64, 4, rand.New(rand.NewSource(9)))
 	b, _ := NewSparseBinary(32, 64, 4, rand.New(rand.NewSource(9)))
-	for c := range a.rowIdx {
-		for i := range a.rowIdx[c] {
-			if a.rowIdx[c][i] != b.rowIdx[c][i] {
-				t.Fatal("same seed gave different matrices")
-			}
+	for i := range a.idx {
+		if a.idx[i] != b.idx[i] {
+			t.Fatal("same seed gave different matrices")
 		}
 	}
 }

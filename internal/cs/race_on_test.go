@@ -1,0 +1,8 @@
+//go:build race
+
+package cs
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under -race because it defeats sync.Pool
+// caching (pooled items are dropped to widen the race surface).
+const raceEnabled = true

@@ -57,12 +57,15 @@ func treeStructure(n, levels int) ([]int, error) {
 // of theta in place. Selection is iterative greedy: at each step the
 // largest-magnitude coefficient whose parent is already kept joins the
 // support — the standard greedy approximation of the (harder) exact
-// tree projection used in model-based CS practice.
-func projectTree(theta []float64, parent []int, alen, k int) {
+// tree projection used in model-based CS practice. kept is caller-owned
+// scratch of len(theta).
+func projectTree(theta []float64, parent []int, alen, k int, kept []bool) {
 	n := len(theta)
-	kept := make([]bool, n)
 	for i := 0; i < alen; i++ {
 		kept[i] = true // roots always survive
+	}
+	for i := alen; i < n; i++ {
+		kept[i] = false
 	}
 	if k >= n-alen {
 		return // everything admissible fits
@@ -131,7 +134,9 @@ func quickSelect(xs []float64, k int) float64 {
 // TreeIHT reconstructs a window from measurements with model-based
 // iterative hard thresholding over the rooted wavelet tree: k is the
 // detail-coefficient budget (the approximation band is always kept).
-// The step size is 1/L with L the decoder's Lipschitz estimate.
+// The step size is 1/L with L the decoder's Lipschitz estimate. The tree
+// tables are built once at decoder construction and all iteration state
+// comes from the decoder's scratch pool.
 func (d *Decoder) TreeIHT(y []float64, k, iters int) ([]float64, error) {
 	if len(y) != d.m {
 		return nil, ErrSolver
@@ -139,69 +144,72 @@ func (d *Decoder) TreeIHT(y []float64, k, iters int) ([]float64, error) {
 	if k <= 0 || iters <= 0 {
 		return nil, ErrSolver
 	}
-	parent, err := treeStructure(d.n, d.cfg.Levels)
-	if err != nil {
-		return nil, err
-	}
-	alen := d.n >> uint(d.cfg.Levels)
+	s := d.pool.Get().(*solverScratch)
+	defer d.pool.Put(s)
+	parent, alen := d.parent, d.alen
 	phi := d.phis[0]
-	theta := make([]float64, d.n)
+	theta := s.theta
+	for i := range theta {
+		theta[i] = 0
+	}
 	for it := 0; it < iters; it++ {
-		grad := d.gradient(phi, theta, y)
+		d.gradInto(phi, theta, y, s.grad, s)
 		// Normalized-IHT step (Blumensath-Davies): the optimal step for
 		// the gradient restricted to the current support,
 		// ||g_S||² / ||A g_S||², which keeps the iteration stable without
 		// a global Lipschitz bound. On the first iteration (empty
 		// support) the unrestricted gradient is used.
-		gS := make([]float64, d.n)
+		gS := s.gS
 		restricted := false
 		for i := range theta {
 			if theta[i] != 0 || i < alen {
-				gS[i] = grad[i]
+				gS[i] = s.grad[i]
 				restricted = true
+			} else {
+				gS[i] = 0
 			}
 		}
 		if !restricted {
-			copy(gS, grad)
+			copy(gS, s.grad)
 		}
-		ag := make([]float64, d.m)
-		phi.Apply(d.synth(gS), ag)
+		d.synthInto(gS, s.x, s)
+		phi.Apply(s.x, s.ax)
 		var num, den float64
 		for _, v := range gS {
 			num += v * v
 		}
-		for _, v := range ag {
+		for _, v := range s.ax {
 			den += v * v
 		}
-		step := 1 / d.lip
+		step := d.step
 		if den > 0 && num > 0 {
 			step = num / den
 		}
 		for i := range theta {
-			theta[i] -= step * grad[i]
+			theta[i] -= step * s.grad[i]
 		}
-		projectTree(theta, parent, alen, k)
+		projectTree(theta, parent, alen, k, s.kept)
 	}
 	// Debias: least squares restricted to the final support (gradient
 	// descent with the NIHT step keeps it matrix-free).
-	support := make([]bool, d.n)
+	support := s.support
 	for i := range theta {
 		support[i] = theta[i] != 0 || i < alen
 	}
 	for it := 0; it < 60; it++ {
-		grad := d.gradient(phi, theta, y)
-		for i := range grad {
+		d.gradInto(phi, theta, y, s.grad, s)
+		for i := range s.grad {
 			if !support[i] {
-				grad[i] = 0
+				s.grad[i] = 0
 			}
 		}
-		ag := make([]float64, d.m)
-		phi.Apply(d.synth(grad), ag)
+		d.synthInto(s.grad, s.x, s)
+		phi.Apply(s.x, s.ax)
 		var num, den float64
-		for _, v := range grad {
+		for _, v := range s.grad {
 			num += v * v
 		}
-		for _, v := range ag {
+		for _, v := range s.ax {
 			den += v * v
 		}
 		if den == 0 || num == 0 {
@@ -209,8 +217,10 @@ func (d *Decoder) TreeIHT(y []float64, k, iters int) ([]float64, error) {
 		}
 		step := num / den
 		for i := range theta {
-			theta[i] -= step * grad[i]
+			theta[i] -= step * s.grad[i]
 		}
 	}
-	return d.synth(theta), nil
+	out := make([]float64, d.n)
+	d.synthInto(theta, out, s)
+	return out, nil
 }

@@ -54,7 +54,7 @@ func TestProjectTreeRespectsStructure(t *testing.T) {
 	// has magnitude 0, so under a tight budget the child must be dropped
 	// unless its parent is kept first.
 	theta[40] = 100 // d1 band, parent 16+(40-32)/2 = 20, grandparent 8+(20-16)/2=10
-	projectTree(theta, parent, alen, 1)
+	projectTree(theta, parent, alen, 1, make([]bool, n))
 	if theta[40] != 0 {
 		t.Error("orphan child with zero parent should be dropped at budget 1")
 	}
@@ -63,7 +63,7 @@ func TestProjectTreeRespectsStructure(t *testing.T) {
 	theta[10] = 5 // d3
 	theta[20] = 4 // d2, parent 10
 	theta[40] = 3 // d1, parent 20
-	projectTree(theta, parent, alen, 3)
+	projectTree(theta, parent, alen, 3, make([]bool, n))
 	if theta[10] == 0 || theta[20] == 0 || theta[40] == 0 {
 		t.Errorf("connected chain should survive: %v %v %v", theta[10], theta[20], theta[40])
 	}

@@ -19,6 +19,7 @@ package delineation
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"wbsn/internal/dsp"
 	"wbsn/internal/wavelet"
@@ -93,9 +94,18 @@ func (c Config) withDefaults() (Config, error) {
 	return out, nil
 }
 
-// WaveletDelineator implements ref [12].
+// WaveletDelineator implements ref [12]. It is safe for concurrent use:
+// per-call transform buffers come from an internal pool.
 type WaveletDelineator struct {
-	cfg Config
+	cfg  Config
+	pool sync.Pool // *delineateScratch
+}
+
+// delineateScratch holds the reusable à-trous buffers of one Delineate
+// call.
+type delineateScratch struct {
+	details [][]float64
+	ws      wavelet.Scratch
 }
 
 // NewWaveletDelineator validates the configuration and returns a
@@ -105,7 +115,9 @@ func NewWaveletDelineator(cfg Config) (*WaveletDelineator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WaveletDelineator{cfg: c}, nil
+	d := &WaveletDelineator{cfg: c}
+	d.pool.New = func() any { return new(delineateScratch) }
+	return d, nil
 }
 
 // ms converts milliseconds to samples at the configured rate.
@@ -120,10 +132,13 @@ func (d *WaveletDelineator) Delineate(x []float64) ([]BeatFiducials, error) {
 	if len(x) < 32 {
 		return nil, nil
 	}
-	w, err := wavelet.Atrous(x, wavelet.AtrousScales)
+	s := d.pool.Get().(*delineateScratch)
+	defer d.pool.Put(s)
+	w, err := wavelet.AtrousInto(x, wavelet.AtrousScales, s.details, &s.ws)
 	if err != nil {
 		return nil, err
 	}
+	s.details = w // keep the (possibly regrown) buffers for reuse
 	rPeaks, qrsMM := d.detectQRS(w)
 	beats := make([]BeatFiducials, 0, len(rPeaks))
 	for i, r := range rPeaks {

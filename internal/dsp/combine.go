@@ -19,13 +19,26 @@ func CombineRMS(leads [][]float64) []float64 {
 	if len(leads) == 0 {
 		return nil
 	}
+	return CombineRMSInto(leads, nil)
+}
+
+// CombineRMSInto is CombineRMS writing into out, which is reused when its
+// capacity suffices and grown otherwise — allocation-free with a warm
+// buffer. It returns the (possibly regrown) result slice.
+func CombineRMSInto(leads [][]float64, out []float64) []float64 {
+	if len(leads) == 0 {
+		return out[:0]
+	}
 	n := len(leads[0])
 	for _, l := range leads[1:] {
 		if len(l) != n {
 			panic("dsp: CombineRMS lead length mismatch")
 		}
 	}
-	out := make([]float64, n)
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
 	inv := 1 / float64(len(leads))
 	for i := 0; i < n; i++ {
 		s := 0.0

@@ -1,0 +1,197 @@
+package gateway
+
+// The reconstruction engine parallelises the gateway's dominant cost —
+// CS reconstruction, which ref [5] runs in real time on a smartphone —
+// across worker goroutines. Reconstruction is a pure function of the
+// measurements (the decoder holds only immutable derived state and
+// per-call pooled scratch), so windows decoded concurrently are bit
+// identical to serial decoding; the engine adds ordering on top so
+// callers see results in submission order regardless of which worker
+// finished first.
+//
+// Worker model: a fixed pool of Workers goroutines shares one bounded
+// job queue. Each worker owns a cloned decoder (same sensing matrix and
+// derived constants, private scratch pool) so hot-path buffers never
+// migrate between cores. Submit blocks when the queue is full — the
+// queue bound is the backpressure mechanism, no job is ever dropped.
+
+import (
+	"runtime"
+	"sync"
+
+	"wbsn/internal/cs"
+)
+
+// EngineConfig sizes the worker pool.
+type EngineConfig struct {
+	// Workers is the goroutine count; 0 selects GOMAXPROCS.
+	Workers int
+	// Queue is the bounded job-queue depth; 0 selects 2*Workers.
+	Queue int
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	out := c
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.Queue <= 0 {
+		out.Queue = 2 * out.Workers
+	}
+	return out
+}
+
+// Job is one submitted reconstruction window. Wait blocks until a
+// worker has decoded it.
+type Job struct {
+	measurements [][]float64
+	leads        [][]float64
+	err          error
+	done         chan struct{}
+}
+
+// Wait blocks until the job is decoded and returns the reconstructed
+// leads (or the decode error).
+func (j *Job) Wait() ([][]float64, error) {
+	<-j.done
+	return j.leads, j.err
+}
+
+// Engine fans CS windows across a pool of workers, each holding its own
+// decoder clone. All methods are safe for concurrent use; results are
+// delivered per job, so callers that need stream order wait on jobs in
+// submission order (DecodeWindows does exactly that).
+type Engine struct {
+	cfg  Config
+	ecfg EngineConfig
+	m    int
+	jobs chan *Job
+	wg   sync.WaitGroup
+	// mu serialises Submit against Close: Submit holds the read lock
+	// across its channel send so Close (write lock) cannot close the
+	// queue under an in-flight send.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewEngine builds a worker pool mirroring the given gateway Config.
+// Every worker regenerates the shared sensing matrix from the seed and
+// clones the derived solver state.
+func NewEngine(cfg Config, ecfg EngineConfig) (*Engine, error) {
+	c := cfg.withDefaults()
+	base, m, err := c.buildDecoder()
+	if err != nil {
+		return nil, err
+	}
+	ec := ecfg.withDefaults()
+	e := &Engine{cfg: c, ecfg: ec, m: m, jobs: make(chan *Job, ec.Queue)}
+	for w := 0; w < ec.Workers; w++ {
+		dec := base
+		if w > 0 {
+			dec = base.Clone()
+		}
+		e.wg.Add(1)
+		go e.worker(dec)
+	}
+	return e, nil
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.ecfg.Workers }
+
+func (e *Engine) worker(dec *cs.Decoder) {
+	defer e.wg.Done()
+	for j := range e.jobs {
+		if e.cfg.DisableJoint {
+			j.leads, j.err = dec.ReconstructLeads(j.measurements)
+		} else {
+			j.leads, j.err = dec.ReconstructJoint(j.measurements)
+		}
+		close(j.done)
+	}
+}
+
+// Submit enqueues one window for reconstruction and returns its Job.
+// It validates the packet shape first, blocks while the queue is full,
+// and returns ErrGateway after Close.
+func (e *Engine) Submit(measurements [][]float64) (*Job, error) {
+	if len(measurements) != e.cfg.Leads {
+		return nil, ErrGateway
+	}
+	for _, lead := range measurements {
+		if len(lead) != e.m {
+			return nil, ErrGateway
+		}
+	}
+	j := &Job{measurements: measurements, done: make(chan struct{})}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrGateway
+	}
+	e.jobs <- j
+	return j, nil
+}
+
+// Decode reconstructs one window synchronously (Submit + Wait).
+func (e *Engine) Decode(measurements [][]float64) ([][]float64, error) {
+	j, err := e.Submit(measurements)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait()
+}
+
+// DecodeWindows reconstructs a batch of windows and returns the results
+// in submission order. Submission and collection are pipelined from a
+// second goroutine so the batch may exceed the queue depth; the first
+// decode error aborts the batch (remaining jobs still drain).
+func (e *Engine) DecodeWindows(windows [][][]float64) ([][][]float64, error) {
+	ch := make(chan *Job, len(windows))
+	var submitErr error
+	var swg sync.WaitGroup
+	swg.Add(1)
+	go func() {
+		defer swg.Done()
+		defer close(ch)
+		for _, w := range windows {
+			j, err := e.Submit(w)
+			if err != nil {
+				submitErr = err
+				return
+			}
+			ch <- j
+		}
+	}()
+	out := make([][][]float64, 0, len(windows))
+	var firstErr error
+	for j := range ch {
+		leads, err := j.Wait()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out = append(out, leads)
+	}
+	swg.Wait()
+	if firstErr == nil {
+		firstErr = submitErr
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Close shuts the pool down after in-flight jobs finish. Further
+// Submits fail with ErrGateway. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	e.mu.Unlock()
+	e.wg.Wait()
+}

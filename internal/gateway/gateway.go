@@ -69,6 +69,27 @@ func (c Config) withDefaults() Config {
 	return out
 }
 
+// buildDecoder regenerates the sensing matrix from the shared seed
+// exactly as the node's encoder drew it and derives the solver. It
+// returns the decoder plus the per-lead measurement count. c must
+// already have defaults applied.
+func (c Config) buildDecoder() (*cs.Decoder, int, error) {
+	m := cs.MeasurementsForCR(c.CSWindow, c.CSRatio)
+	d := c.CSDensity
+	if d > m {
+		d = m
+	}
+	phi, err := cs.NewSparseBinary(m, c.CSWindow, d, rand.New(rand.NewSource(c.Seed)))
+	if err != nil {
+		return nil, 0, err
+	}
+	dec, err := cs.NewDecoder(phi, c.Solver)
+	if err != nil {
+		return nil, 0, err
+	}
+	return dec, m, nil
+}
+
 // MatchNode builds a gateway Config mirroring a node configuration.
 func MatchNode(n core.Config) Config {
 	return Config{
@@ -92,22 +113,16 @@ type Receiver struct {
 	// signal accumulates the reconstructed leads.
 	signal [][]float64
 	del    *delineation.WaveletDelineator
+	// engine, when attached, decodes windows on a worker pool instead
+	// of inline; results are appended in packet order either way.
+	engine *Engine
 }
 
 // NewReceiver builds the receiver; the sensing matrix is regenerated
 // from the shared seed exactly as the node's encoder drew it.
 func NewReceiver(cfg Config) (*Receiver, error) {
 	c := cfg.withDefaults()
-	m := cs.MeasurementsForCR(c.CSWindow, c.CSRatio)
-	d := c.CSDensity
-	if d > m {
-		d = m
-	}
-	phi, err := cs.NewSparseBinary(m, c.CSWindow, d, rand.New(rand.NewSource(c.Seed)))
-	if err != nil {
-		return nil, err
-	}
-	dec, err := cs.NewDecoder(phi, c.Solver)
+	dec, m, err := c.buildDecoder()
 	if err != nil {
 		return nil, err
 	}
@@ -140,23 +155,88 @@ func (r *Receiver) ConsumePacket(measurements [][]float64) error {
 	}
 	var xs [][]float64
 	var err error
-	if r.cfg.DisableJoint {
+	switch {
+	case r.engine != nil:
+		xs, err = r.engine.Decode(measurements)
+	case r.cfg.DisableJoint:
 		xs, err = r.dec.ReconstructLeads(measurements)
-	} else {
+	default:
 		xs, err = r.dec.ReconstructJoint(measurements)
 	}
 	if err != nil {
 		return err
 	}
-	for li := range xs {
-		r.signal[li] = append(r.signal[li], xs[li]...)
-	}
+	r.appendWindow(xs)
 	return nil
 }
 
+func (r *Receiver) appendWindow(xs [][]float64) {
+	for li := range xs {
+		r.signal[li] = append(r.signal[li], xs[li]...)
+	}
+}
+
+// AttachEngine routes this receiver's reconstructions through a worker
+// pool. The engine must mirror the receiver's configuration (lead
+// count, measurement length and joint/independent solver choice) so the
+// decoded output is bit identical to the inline path.
+func (r *Receiver) AttachEngine(e *Engine) error {
+	if e == nil {
+		r.engine = nil
+		return nil
+	}
+	if e.cfg.Leads != r.cfg.Leads || e.m != r.m || e.cfg.DisableJoint != r.cfg.DisableJoint {
+		return ErrGateway
+	}
+	r.engine = e
+	return nil
+}
+
+// Reset discards the accumulated signal while keeping the decoder (and
+// any attached engine), so one receiver can replay many records.
+func (r *Receiver) Reset() {
+	for li := range r.signal {
+		r.signal[li] = r.signal[li][:0]
+	}
+}
+
 // ConsumeEvents feeds every CS packet among the node's stream events to
-// the receiver, ignoring other event kinds.
+// the receiver, ignoring other event kinds. With an engine attached the
+// packets of the batch are decoded concurrently; the reconstructed
+// windows are appended in packet order either way.
 func (r *Receiver) ConsumeEvents(events []core.Event) error {
+	if r.engine != nil {
+		var windows [][][]float64
+		for _, e := range events {
+			if e.Kind != core.EventPacket || e.Measurements == nil {
+				continue
+			}
+			windows = append(windows, e.Measurements)
+		}
+		if len(windows) == 0 {
+			return nil
+		}
+		// Shape-check before submitting so malformed packets fail with
+		// ErrGateway exactly like the inline path.
+		for _, w := range windows {
+			if len(w) != r.cfg.Leads {
+				return ErrGateway
+			}
+			for _, lead := range w {
+				if len(lead) != r.m {
+					return ErrGateway
+				}
+			}
+		}
+		decoded, err := r.engine.DecodeWindows(windows)
+		if err != nil {
+			return err
+		}
+		for _, xs := range decoded {
+			r.appendWindow(xs)
+		}
+		return nil
+	}
 	for _, e := range events {
 		if e.Kind != core.EventPacket || e.Measurements == nil {
 			continue

@@ -92,23 +92,95 @@ func SuppressNoise(x []float64, cfg FilterConfig) ([]float64, error) {
 // then noise suppression). This is the "3L-MF" kernel of Figure 7 when
 // applied to each of the three leads.
 func Filter(x []float64, cfg FilterConfig) ([]float64, error) {
-	corrected, err := RemoveBaseline(x, cfg)
-	if err != nil {
+	out := make([]float64, len(x))
+	var s Scratch
+	if err := FilterInto(x, cfg, out, &s); err != nil {
 		return nil, err
 	}
-	return SuppressNoise(corrected, cfg)
+	return out, nil
 }
 
 // FilterLeads applies Filter independently to every lead — the 3L-MF
 // multi-lead workload. Lead lengths may differ.
 func FilterLeads(leads [][]float64, cfg FilterConfig) ([][]float64, error) {
-	out := make([][]float64, len(leads))
+	var s Scratch
+	return FilterLeadsInto(leads, cfg, nil, &s)
+}
+
+// BaselineEstimateInto is BaselineEstimate writing into out (len(x)),
+// drawing intermediates from s. out must be caller-owned and must not
+// alias x.
+func BaselineEstimateInto(x []float64, cfg FilterConfig, out []float64, s *Scratch) error {
+	c := cfg.withDefaults()
+	l0 := c.BaselineSE
+	opened := s.buffer(1, len(x))
+	if err := OpenFlatInto(x, l0, opened, s); err != nil {
+		return err
+	}
+	return CloseFlatInto(opened, l0+l0/2, out, s)
+}
+
+// RemoveBaselineInto is RemoveBaseline writing into out (len(x)). out
+// may alias x (in-place correction).
+func RemoveBaselineInto(x []float64, cfg FilterConfig, out []float64, s *Scratch) error {
+	base := s.buffer(2, len(x))
+	if err := BaselineEstimateInto(x, cfg, base, s); err != nil {
+		return err
+	}
+	for i := range x {
+		out[i] = x[i] - base[i]
+	}
+	return nil
+}
+
+// SuppressNoiseInto is SuppressNoise writing into out (len(x)). out may
+// alias x.
+func SuppressNoiseInto(x []float64, cfg FilterConfig, out []float64, s *Scratch) error {
+	c := cfg.withDefaults()
+	o := s.buffer(1, len(x))
+	if err := OpenFlatInto(x, c.NoiseSE, o, s); err != nil {
+		return err
+	}
+	cl := s.buffer(2, len(x))
+	if err := CloseFlatInto(x, c.NoiseSE, cl, s); err != nil {
+		return err
+	}
+	for i := range x {
+		out[i] = 0.5 * (o[i] + cl[i])
+	}
+	return nil
+}
+
+// FilterInto is Filter writing into out (len(x)), allocation-free with a
+// warm scratch. out may alias x.
+func FilterInto(x []float64, cfg FilterConfig, out []float64, s *Scratch) error {
+	if len(out) != len(x) {
+		return ErrBadSE
+	}
+	corrected := s.buffer(3, len(x))
+	if err := RemoveBaselineInto(x, cfg, corrected, s); err != nil {
+		return err
+	}
+	return SuppressNoiseInto(corrected, cfg, out, s)
+}
+
+// FilterLeadsInto is FilterLeads reusing out's backing storage when its
+// capacity suffices. It returns the (possibly regrown) lead set.
+func FilterLeadsInto(leads [][]float64, cfg FilterConfig, out [][]float64, s *Scratch) ([][]float64, error) {
+	if cap(out) < len(leads) {
+		grown := make([][]float64, len(leads))
+		copy(grown, out)
+		out = grown
+	}
+	out = out[:len(leads)]
 	for i, l := range leads {
-		f, err := Filter(l, cfg)
-		if err != nil {
+		if cap(out[i]) < len(l) {
+			out[i] = make([]float64, len(l))
+		}
+		out[i] = out[i][:len(l)]
+		if err := FilterInto(l, cfg, out[i], s); err != nil {
 			return nil, err
 		}
-		out[i] = f
 	}
 	return out, nil
 }

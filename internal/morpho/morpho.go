@@ -20,6 +20,32 @@ import "errors"
 // ErrBadSE is returned when a structuring-element length is not positive.
 var ErrBadSE = errors.New("morpho: structuring element length must be >= 1")
 
+// Scratch holds the reusable work buffers of the Into operator variants.
+// A zero Scratch is ready to use; buffers grow on demand. One Scratch
+// serves one operator chain at a time (not concurrency-safe). Buffers
+// handed to Into functions as out must be caller-owned — never slices
+// returned by this scratch.
+type Scratch struct {
+	idx  []int
+	bufs [4][]float64
+}
+
+// deque returns the wedge index buffer, grown to n entries.
+func (s *Scratch) deque(n int) []int {
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+	}
+	return s.idx[:n]
+}
+
+// buffer returns work buffer i, grown to n samples.
+func (s *Scratch) buffer(i, n int) []float64 {
+	if cap(s.bufs[i]) < n {
+		s.bufs[i] = make([]float64, n)
+	}
+	return s.bufs[i][:n]
+}
+
 // ErodeFlatNaive computes flat erosion (sliding minimum) with a centred
 // window of length k using the direct O(n*k) algorithm. Borders use edge
 // replication. Kept as the baseline for BenchmarkAblationVanHerk.
@@ -84,29 +110,56 @@ func clampIdx(i, n int) int {
 // minimum). Borders use edge replication, matching the naive variant
 // exactly.
 func ErodeFlat(x []float64, k int) ([]float64, error) {
-	return slidingExtremum(x, k, true)
+	return slidingExtremumAlloc(x, k, true)
 }
 
 // DilateFlat computes flat dilation with a centred window of length k in
 // O(1) amortised comparisons per sample.
 func DilateFlat(x []float64, k int) ([]float64, error) {
-	return slidingExtremum(x, k, false)
+	return slidingExtremumAlloc(x, k, false)
+}
+
+// ErodeFlatInto is ErodeFlat writing into out (len(x)), drawing the
+// deque from s — allocation-free in steady state. out must not alias x.
+func ErodeFlatInto(x []float64, k int, out []float64, s *Scratch) error {
+	return slidingExtremum(x, k, true, out, s)
+}
+
+// DilateFlatInto is DilateFlat writing into out (len(x)), drawing the
+// deque from s. out must not alias x.
+func DilateFlatInto(x []float64, k int, out []float64, s *Scratch) error {
+	return slidingExtremum(x, k, false, out, s)
+}
+
+func slidingExtremumAlloc(x []float64, k int, min bool) ([]float64, error) {
+	out := make([]float64, len(x))
+	var s Scratch
+	if err := slidingExtremum(x, k, min, out, &s); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // slidingExtremum implements the monotonic wedge: indices whose values
-// can still become the window extremum, in extremum-first order.
-func slidingExtremum(x []float64, k int, min bool) ([]float64, error) {
+// can still become the window extremum, in extremum-first order. The
+// wedge storage comes from s; out receives the result and must not alias
+// x (every sample is read after earlier outputs are written).
+func slidingExtremum(x []float64, k int, min bool, out []float64, s *Scratch) error {
 	if k < 1 {
-		return nil, ErrBadSE
+		return ErrBadSE
 	}
 	n := len(x)
-	out := make([]float64, n)
+	if len(out) != n {
+		return ErrBadSE
+	}
 	if n == 0 {
-		return out, nil
+		return nil
 	}
 	half := k / 2
 	// Virtual padded signal of length n + k (edge replication); window for
-	// output i covers virtual indices [i-half, i-half+k-1].
+	// output i covers virtual indices [i-half, i-half+k-1]. The wedge
+	// only ever advances its head, so a flat n+k index buffer replaces a
+	// reallocating deque.
 	at := func(j int) float64 { return x[clampIdx(j, n)] }
 	better := func(a, b float64) bool {
 		if min {
@@ -114,29 +167,32 @@ func slidingExtremum(x []float64, k int, min bool) ([]float64, error) {
 		}
 		return a >= b
 	}
-	deque := make([]int, 0, k+1)
-	lo := -half // leading edge starts at window start of output 0
+	deque := s.deque(n + k)
+	head, tail := 0, 0 // live wedge is deque[head:tail]
+	lo := -half        // leading edge starts at window start of output 0
 	// Pre-fill the first window except its last element.
 	for j := lo; j < lo+k-1; j++ {
-		for len(deque) > 0 && better(at(j), at(deque[len(deque)-1])) {
-			deque = deque[:len(deque)-1]
+		for tail > head && better(at(j), at(deque[tail-1])) {
+			tail--
 		}
-		deque = append(deque, j)
+		deque[tail] = j
+		tail++
 	}
 	for i := 0; i < n; i++ {
 		j := i - half + k - 1 // new trailing element entering the window
-		for len(deque) > 0 && better(at(j), at(deque[len(deque)-1])) {
-			deque = deque[:len(deque)-1]
+		for tail > head && better(at(j), at(deque[tail-1])) {
+			tail--
 		}
-		deque = append(deque, j)
+		deque[tail] = j
+		tail++
 		// Expire indices left of the window.
 		start := i - half
-		for deque[0] < start {
-			deque = deque[1:]
+		for deque[head] < start {
+			head++
 		}
-		out[i] = at(deque[0])
+		out[i] = at(deque[head])
 	}
-	return out, nil
+	return nil
 }
 
 // OpenFlat computes morphological opening (erosion then dilation) with a
@@ -158,4 +214,24 @@ func CloseFlat(x []float64, k int) ([]float64, error) {
 		return nil, err
 	}
 	return ErodeFlat(d, k)
+}
+
+// OpenFlatInto is OpenFlat writing into out, with intermediates from s.
+// out must not alias x.
+func OpenFlatInto(x []float64, k int, out []float64, s *Scratch) error {
+	t := s.buffer(0, len(x))
+	if err := ErodeFlatInto(x, k, t, s); err != nil {
+		return err
+	}
+	return DilateFlatInto(t, k, out, s)
+}
+
+// CloseFlatInto is CloseFlat writing into out, with intermediates from
+// s. out must not alias x.
+func CloseFlatInto(x []float64, k int, out []float64, s *Scratch) error {
+	t := s.buffer(0, len(x))
+	if err := DilateFlatInto(x, k, t, s); err != nil {
+		return err
+	}
+	return ErodeFlatInto(t, k, out, s)
 }

@@ -73,6 +73,57 @@ func Atrous(x []float64, scales int) ([][]float64, error) {
 	return out, nil
 }
 
+// AtrousInto is Atrous writing each scale into caller-provided storage:
+// details (and each details[k]) is reused when its capacity suffices and
+// reallocated otherwise, and all intermediates come from s — so a warm
+// (details, s) pair makes the transform allocation-free. It returns the
+// (possibly regrown) details slice.
+func AtrousInto(x []float64, scales int, details [][]float64, s *Scratch) ([][]float64, error) {
+	if scales < 1 || scales > 8 {
+		return nil, ErrLevels
+	}
+	if len(x) == 0 {
+		return details[:0], nil
+	}
+	n := len(x)
+	if cap(details) < scales {
+		grown := make([][]float64, scales)
+		copy(grown, details)
+		details = grown
+	}
+	details = details[:scales]
+	for k := range details {
+		if cap(details[k]) < n {
+			details[k] = make([]float64, n)
+		}
+		details[k] = details[k][:n]
+	}
+	cur, next := s.buffers(n)
+	copy(cur, x)
+	for sc := 0; sc < scales; sc++ {
+		hole := 1 << uint(sc)
+		w := details[sc]
+		for i := 0; i < n; i++ {
+			var acc float64
+			for k, g := range atrousHigh {
+				j := i - k*hole
+				acc += g * cur[reflect(j, n)]
+			}
+			w[i] = acc
+		}
+		for i := 0; i < n; i++ {
+			var acc float64
+			for k, h := range atrousLow {
+				j := i - (k-1)*hole // centre the 4-tap kernel
+				acc += h * cur[reflect(j, n)]
+			}
+			next[i] = acc
+		}
+		cur, next = next, cur
+	}
+	return details, nil
+}
+
 // AtrousWithApprox is Atrous but additionally returns the final smoothed
 // approximation signal, useful for baseline tracking.
 func AtrousWithApprox(x []float64, scales int) (details [][]float64, approx []float64, err error) {

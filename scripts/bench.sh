@@ -1,0 +1,18 @@
+#!/bin/sh
+# Runs the PR's performance benchmark suite and captures the raw
+# go-test JSON event stream in BENCH_PR2.json (one event per line;
+# benchmark results live in the "Output" fields of run/output events).
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime defaults to 1s; pass e.g. "1x" for a smoke run.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1s}"
+OUT="BENCH_PR2.json"
+
+go test -run '^$' \
+	-bench 'GatewayEndToEnd|GatewaySetup|ThroughputEngine|ReconstructParallel|FISTAReconstruct' \
+	-benchtime "$BENCHTIME" -benchmem -json . | tee "$OUT"
+
+echo "wrote $OUT" >&2
