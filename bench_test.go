@@ -23,6 +23,7 @@ import (
 	"wbsn/internal/ecg"
 	"wbsn/internal/energy"
 	"wbsn/internal/fixedpt"
+	"wbsn/internal/fleet"
 	"wbsn/internal/gateway"
 	"wbsn/internal/morpho"
 	"wbsn/internal/spline"
@@ -1038,5 +1039,101 @@ func BenchmarkDatabaseDelineation(b *testing.B) {
 	b.ReportMetric(100*total.TPeak.Se(), "%Se-Tpeak")
 	if total.R.Se() < 0.95 || total.R.PPV() < 0.95 {
 		b.Errorf("database-wide QRS detection Se=%.3f PPV=%.3f", total.R.Se(), total.R.PPV())
+	}
+}
+
+// ---------------------------------------------------------------------
+// PR 3 — fleet engine: sharded multi-patient simulation and the
+// allocation-free node hot path.
+// ---------------------------------------------------------------------
+
+// BenchmarkFleetShards runs a fixed patient population at 1, 2 and
+// GOMAXPROCS shards, reporting throughput (patients/s) and the
+// real-time factor (simulated seconds per wall second — how many live
+// patients this host could serve). The per-patient work includes record
+// synthesis, the streaming node, the ARQ link and gateway CS
+// reconstruction; a reduced FISTA budget keeps the benchmark tractable
+// without changing the scheduling profile.
+func BenchmarkFleetShards(b *testing.B) {
+	const (
+		patients  = 6
+		durationS = 4.0
+	)
+	shardSet := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, shards := range shardSet {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng, err := fleet.NewEngine(fleet.Config{
+				Patients:    patients,
+				Shards:      shards,
+				DurationS:   durationS,
+				Seed:        61,
+				SolverIters: 40,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.ResetTimer()
+			start := time.Now()
+			var rtf float64
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rtf = res.RealTimeFactor
+			}
+			secs := time.Since(start).Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(b.N*patients)/secs, "patients/s")
+			}
+			b.ReportMetric(rtf, "rtf")
+		})
+	}
+}
+
+// BenchmarkFleetStreamPush measures the steady-state per-sample cost of
+// the node hot path after the allocation-free rework: a warm stream
+// absorbs one sample per iteration, so allocs/op is the headline number
+// (chunk-boundary work amortises over the hop; the acceptance bar is
+// <= 2 allocs/op).
+func BenchmarkFleetStreamPush(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 62, Duration: 40})
+	for _, mode := range []core.Mode{core.ModeCS, core.ModeDelineation} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := core.Config{Mode: mode}
+			if mode == core.ModeCS {
+				cfg.CSRatio = 60
+				cfg.Seed = 14
+			}
+			node, err := core.NewNode(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream, err := node.NewStream()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sample := make([]float64, len(rec.Leads))
+			pos := 0
+			push := func() {
+				for li := range sample {
+					sample[li] = rec.Leads[li][pos%rec.Len()]
+				}
+				pos++
+				if _, err := stream.Push(sample); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Warm up the lead buffers and every scratch path.
+			for i := 0; i < 4096; i++ {
+				push()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				push()
+			}
+		})
 	}
 }

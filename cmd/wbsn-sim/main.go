@@ -10,6 +10,7 @@
 //	wbsn-sim -ablation   # additionally ablate the broadcast interconnect
 //	wbsn-sim -faulty     # sweep the lossy-link scenario instead
 //	wbsn-sim -throughput # sweep the gateway engine across worker counts
+//	wbsn-sim -fleet      # sweep the sharded multi-patient fleet engine
 package main
 
 import (
@@ -25,9 +26,16 @@ func main() {
 		ablation   = flag.Bool("ablation", false, "also run with the broadcast interconnect disabled")
 		faulty     = flag.Bool("faulty", false, "sweep the node->gateway chain across channel loss rates")
 		throughput = flag.Bool("throughput", false, "sweep the gateway reconstruction engine across worker counts")
+		fleetSweep = flag.Bool("fleet", false, "sweep the sharded multi-patient fleet across patients x shards")
 		seed       = flag.Int64("seed", 1, "branch-outcome seed")
 	)
 	flag.Parse()
+	if *fleetSweep {
+		if err := runFleetSweep(*seed); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 	if *faulty {
 		if err := runFaultySweep(*seed); err != nil {
 			fatalf("%v", err)

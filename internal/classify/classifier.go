@@ -171,16 +171,24 @@ func (c *Classifier) Predict(beat []float64) (label int, membership float64, err
 // every kernel response underflows (the linearized exponential truncates
 // at 4σ, so a far-off beat can score zero in every class) the decision
 // falls back to the nearest prototype in scaled-distance terms — the
-// same argmax the exact exponential would produce.
+// same argmax the exact exponential would produce. The hot path is
+// allocation-free: memberships are folded into the argmax directly
+// instead of materialising the Memberships map.
 func (c *Classifier) PredictProjected(z []float64) (label int, membership float64, err error) {
 	if len(c.classes) == 0 {
 		return 0, 0, ErrNoturn
 	}
-	mem := c.Memberships(z)
 	bestLabel, bestVal := c.classes[0], -1.0
 	for _, l := range c.classes {
-		if mem[l] > bestVal {
-			bestLabel, bestVal = l, mem[l]
+		best := 0.0
+		for _, p := range c.protos[l] {
+			u := sqDist(z, p.Center) * p.InvTwoSigma2
+			if v := c.kernel(u); v > best {
+				best = v
+			}
+		}
+		if best > bestVal {
+			bestLabel, bestVal = l, best
 		}
 	}
 	if bestVal > 0 {

@@ -26,11 +26,22 @@ func (w BeatWindow) Len() int { return w.Before + w.After }
 // to zero mean and unit peak amplitude (amplitude jitter must not drive
 // the classifier). Returns nil when the window does not fit.
 func (w BeatWindow) Extract(x []float64, r int) []float64 {
+	return w.ExtractInto(x, r, nil)
+}
+
+// ExtractInto is Extract writing into out, which is reused when its
+// capacity suffices and grown otherwise — allocation-free with a warm
+// buffer. Returns nil when the window does not fit (out is untouched, so
+// the caller can keep it for the next beat).
+func (w BeatWindow) ExtractInto(x []float64, r int, out []float64) []float64 {
 	lo, hi := r-w.Before, r+w.After
 	if lo < 0 || hi > len(x) {
 		return nil
 	}
-	out := make([]float64, w.Len())
+	if cap(out) < w.Len() {
+		out = make([]float64, w.Len())
+	}
+	out = out[:w.Len()]
 	copy(out, x[lo:hi])
 	m := dsp.Mean(out)
 	peak := 0.0

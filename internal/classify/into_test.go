@@ -1,0 +1,124 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExtractIntoMatchesExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, 2000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	w := DefaultBeatWindow(256)
+	var buf []float64
+	for _, r := range []int{w.Before, 500, 1000, len(x) - w.After} {
+		want := w.Extract(x, r)
+		got := w.ExtractInto(x, r, buf)
+		if (got == nil) != (want == nil) {
+			t.Fatalf("r=%d: nil mismatch", r)
+		}
+		if got == nil {
+			continue
+		}
+		buf = got
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("r=%d sample %d: %v != %v", r, i, got[i], want[i])
+			}
+		}
+	}
+	// Out-of-range window: nil result, scratch untouched for next beat.
+	if got := w.ExtractInto(x, 0, buf); got != nil {
+		t.Fatal("window before signal start should not fit")
+	}
+	if a := testing.AllocsPerRun(20, func() {
+		buf = w.ExtractInto(x, 700, buf)
+	}); a > 0 {
+		t.Fatalf("warm ExtractInto allocates %.0f times", a)
+	}
+}
+
+func TestProjectIntoMatchesProject(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rp, err := NewRPMatrix(16, 166, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 166)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want, err := rp.Project(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var z []float64
+	z, err = rp.ProjectInto(x, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if z[i] != want[i] {
+			t.Fatalf("feature %d: %v != %v", i, z[i], want[i])
+		}
+	}
+	if _, err := rp.ProjectInto(x[:10], z); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+	if a := testing.AllocsPerRun(20, func() {
+		z, _ = rp.ProjectInto(x, z)
+	}); a > 0 {
+		t.Fatalf("warm ProjectInto allocates %.0f times", a)
+	}
+}
+
+// TestPredictProjectedAllocFree pins the hot prediction path: with the
+// membership map folded into the argmax, classifying a projected vector
+// performs zero allocations.
+func TestPredictProjectedAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rp, err := NewRPMatrix(8, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := map[int][][]float64{}
+	for label := 0; label < 3; label++ {
+		for s := 0; s < 6; s++ {
+			v := make([]float64, 8)
+			for i := range v {
+				v[i] = float64(label) + 0.1*rng.NormFloat64()
+			}
+			samples[label] = append(samples[label], v)
+		}
+	}
+	cl, err := Train(rp, samples, TrainConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.UseLinExp = true
+	z := samples[1][0]
+	label, _, err := cl.PredictProjected(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The map-based Memberships path must agree with the folded argmax.
+	mem := cl.Memberships(z)
+	bestLabel, bestVal := cl.Classes()[0], -1.0
+	for _, l := range cl.Classes() {
+		if mem[l] > bestVal {
+			bestLabel, bestVal = l, mem[l]
+		}
+	}
+	if bestVal > 0 && label != bestLabel {
+		t.Fatalf("PredictProjected label %d != Memberships argmax %d", label, bestLabel)
+	}
+	if a := testing.AllocsPerRun(50, func() {
+		if _, _, err := cl.PredictProjected(z); err != nil {
+			t.Fatal(err)
+		}
+	}); a > 0 {
+		t.Fatalf("PredictProjected allocates %.0f times", a)
+	}
+}

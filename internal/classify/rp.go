@@ -87,10 +87,20 @@ func (m *RPMatrix) MemoryBytes() int { return len(m.bits) * 8 }
 // Project computes z = (√(3/k))·R·x. It returns ErrBadInput if len(x)
 // differs from the input dimension.
 func (m *RPMatrix) Project(x []float64) ([]float64, error) {
+	return m.ProjectInto(x, nil)
+}
+
+// ProjectInto is Project writing into z, which is reused when its
+// capacity suffices and grown otherwise — allocation-free with a warm
+// buffer. It returns the (possibly regrown) feature vector.
+func (m *RPMatrix) ProjectInto(x, z []float64) ([]float64, error) {
 	if len(x) != m.n {
 		return nil, ErrBadInput
 	}
-	z := make([]float64, m.k)
+	if cap(z) < m.k {
+		z = make([]float64, m.k)
+	}
+	z = z[:m.k]
 	for r := 0; r < m.k; r++ {
 		acc := 0.0
 		base := r * m.n

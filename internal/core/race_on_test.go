@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under -race because it defeats sync.Pool
+// caching in the downstream kernels (pooled items are dropped to widen
+// the race surface) and inflates every count.
+const raceEnabled = true

@@ -69,6 +69,11 @@ type Stream struct {
 	morph    morpho.Scratch
 	filtered [][]float64
 	combined []float64
+	// chunk is the reusable per-drain view of the buffered leads.
+	chunk [][]float64
+	// beatBuf and featBuf are the classification-mode scratch: the
+	// extracted beat window and its projected feature vector.
+	beatBuf, featBuf []float64
 }
 
 // NewStream creates a streaming processor for the node's mode.
@@ -154,11 +159,14 @@ func (s *Stream) drain(flush bool) ([]Event, error) {
 		if take > have {
 			take = have
 		}
-		chunk := make([][]float64, len(s.buf))
-		for i := range s.buf {
-			chunk[i] = s.buf[i][:take]
+		if cap(s.chunk) < len(s.buf) {
+			s.chunk = make([][]float64, len(s.buf))
 		}
-		evs, err := s.processChunk(chunk, s.bufStart)
+		s.chunk = s.chunk[:len(s.buf)]
+		for i := range s.buf {
+			s.chunk[i] = s.buf[i][:take]
+		}
+		evs, err := s.processChunk(s.chunk, s.bufStart)
 		if err != nil {
 			return nil, err
 		}
@@ -168,8 +176,12 @@ func (s *Stream) drain(flush bool) ([]Event, error) {
 		if take < s.chunkLen {
 			adv = take
 		}
+		// Compact instead of reslicing forward: the backing array keeps
+		// its full capacity, so once warm the per-sample appends in
+		// Push/PushBlock never reallocate (steady-state O(1) allocations).
 		for i := range s.buf {
-			s.buf[i] = s.buf[i][adv:]
+			kept := copy(s.buf[i], s.buf[i][adv:])
+			s.buf[i] = s.buf[i][:kept]
 		}
 		s.bufStart += adv
 		if take < s.chunkLen {
@@ -240,9 +252,14 @@ func (s *Stream) processChunk(chunk [][]float64, base int) ([]Event, error) {
 			s.lastBeatR = absR
 			bo := BeatOutput{Fiducials: offsetBeat(b, base), Label: -1}
 			if n.cfg.Mode == ModeClassification {
-				beat := n.beatWin.Extract(combined, b.R)
-				if beat != nil {
-					label, mem, err := n.cfg.Classifier.Predict(beat)
+				if beat := n.beatWin.ExtractInto(combined, b.R, s.beatBuf); beat != nil {
+					s.beatBuf = beat
+					z, err := n.cfg.Classifier.RP().ProjectInto(beat, s.featBuf)
+					if err != nil {
+						return nil, err
+					}
+					s.featBuf = z
+					label, mem, err := n.cfg.Classifier.PredictProjected(z)
 					if err != nil {
 						return nil, err
 					}

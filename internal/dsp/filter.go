@@ -70,12 +70,23 @@ func (f *FIR) Step(x float64) float64 {
 // Apply filters the whole signal, returning a new slice of equal length.
 // The filter state is reset first, so Apply is deterministic.
 func (f *FIR) Apply(x []float64) []float64 {
+	return f.ApplyInto(x, nil)
+}
+
+// ApplyInto is Apply writing into out, which is reused when its capacity
+// suffices and grown otherwise — allocation-free with a warm buffer. out
+// may alias x (each input sample is read before its slot is written).
+// It returns the (possibly regrown) result slice.
+func (f *FIR) ApplyInto(x, out []float64) []float64 {
 	f.Reset()
-	y := make([]float64, len(x))
-	for i, v := range x {
-		y[i] = f.Step(v)
+	if cap(out) < len(x) {
+		out = make([]float64, len(x))
 	}
-	return y
+	out = out[:len(x)]
+	for i, v := range x {
+		out[i] = f.Step(v)
+	}
+	return out
 }
 
 // GroupDelay returns the (integer) group delay of a linear-phase FIR,
@@ -116,12 +127,21 @@ func (q *Biquad) Step(x float64) float64 {
 
 // Apply filters a whole signal after resetting state.
 func (q *Biquad) Apply(x []float64) []float64 {
+	return q.ApplyInto(x, nil)
+}
+
+// ApplyInto is Apply writing into out (reused when capacity suffices,
+// grown otherwise). out may alias x. It returns the result slice.
+func (q *Biquad) ApplyInto(x, out []float64) []float64 {
 	q.Reset()
-	y := make([]float64, len(x))
-	for i, v := range x {
-		y[i] = q.Step(v)
+	if cap(out) < len(x) {
+		out = make([]float64, len(x))
 	}
-	return y
+	out = out[:len(x)]
+	for i, v := range x {
+		out[i] = q.Step(v)
+	}
+	return out
 }
 
 // Chain is a cascade of biquad sections applied in order.
@@ -134,6 +154,26 @@ func (c Chain) Apply(x []float64) []float64 {
 		y = s.Apply(y)
 	}
 	return y
+}
+
+// ApplyInto runs the cascade writing into out: the first section filters
+// x into out and the remaining sections run in place on out, so a warm
+// buffer makes the whole cascade allocation-free. out may alias x.
+// An empty chain copies x. It returns the (possibly regrown) slice.
+func (c Chain) ApplyInto(x, out []float64) []float64 {
+	if cap(out) < len(x) {
+		out = make([]float64, len(x))
+	}
+	out = out[:len(x)]
+	if len(c) == 0 {
+		copy(out, x)
+		return out
+	}
+	out = c[0].ApplyInto(x, out)
+	for _, s := range c[1:] {
+		out = s.ApplyInto(out, out)
+	}
+	return out
 }
 
 // Butterworth2Lowpass designs a 2nd-order Butterworth low-pass biquad with
@@ -304,6 +344,7 @@ func MedianFilter(x []float64, k int) ([]float64, error) {
 	out := make([]float64, n)
 	half := k / 2
 	win := make([]float64, k)
+	var sortBuf []float64
 	for i := 0; i < n; i++ {
 		for j := 0; j < k; j++ {
 			idx := i - half + j
@@ -315,7 +356,7 @@ func MedianFilter(x []float64, k int) ([]float64, error) {
 			}
 			win[j] = x[idx]
 		}
-		out[i] = Median(win)
+		out[i], sortBuf = MedianInto(win, sortBuf)
 	}
 	return out, nil
 }

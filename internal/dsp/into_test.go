@@ -1,0 +1,142 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSignal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestFIRApplyIntoMatchesApply(t *testing.T) {
+	x := randSignal(300, 1)
+	f, err := NewFIR([]float64{0.25, 0.5, 0.25, -0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.Apply(x)
+	out := make([]float64, 0, len(x))
+	out = f.ApplyInto(x, out)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("sample %d: %v != %v", i, out[i], want[i])
+		}
+	}
+	// Aliased output must agree too.
+	alias := append([]float64(nil), x...)
+	alias = f.ApplyInto(alias, alias)
+	for i := range want {
+		if alias[i] != want[i] {
+			t.Fatalf("aliased sample %d: %v != %v", i, alias[i], want[i])
+		}
+	}
+	if a := testing.AllocsPerRun(20, func() {
+		out = f.ApplyInto(x, out)
+	}); a > 0 {
+		t.Fatalf("warm FIR.ApplyInto allocates %.0f times", a)
+	}
+}
+
+func TestChainApplyIntoMatchesApply(t *testing.T) {
+	x := randSignal(400, 2)
+	ch, err := BandpassECG(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ch.Apply(x)
+	var out []float64
+	out = ch.ApplyInto(x, out)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("sample %d: %v != %v", i, out[i], want[i])
+		}
+	}
+	if a := testing.AllocsPerRun(20, func() {
+		out = ch.ApplyInto(x, out)
+	}); a > 0 {
+		t.Fatalf("warm Chain.ApplyInto allocates %.0f times", a)
+	}
+	// Empty chain degenerates to a copy.
+	var empty Chain
+	cp := empty.ApplyInto(x, nil)
+	for i := range x {
+		if cp[i] != x[i] {
+			t.Fatalf("empty chain sample %d: %v != %v", i, cp[i], x[i])
+		}
+	}
+}
+
+func TestBiquadApplyIntoAliased(t *testing.T) {
+	x := randSignal(200, 3)
+	q, err := Butterworth2Lowpass(30, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.Apply(x)
+	alias := append([]float64(nil), x...)
+	alias = q.ApplyInto(alias, alias)
+	for i := range want {
+		if alias[i] != want[i] {
+			t.Fatalf("sample %d: %v != %v", i, alias[i], want[i])
+		}
+	}
+}
+
+func TestMedianIntoMatchesMedian(t *testing.T) {
+	var buf []float64
+	for _, n := range []int{0, 1, 2, 5, 16, 33, 200} {
+		x := randSignal(n, int64(n)+7)
+		want := Median(x)
+		got, regrown := MedianInto(x, buf)
+		buf = regrown
+		if math.IsNaN(want) || math.IsNaN(got) {
+			t.Fatalf("n=%d: NaN median", n)
+		}
+		if got != want {
+			t.Fatalf("n=%d: MedianInto %v != Median %v", n, got, want)
+		}
+		// The input must not be reordered.
+		y := randSignal(n, int64(n)+7)
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("n=%d: MedianInto mutated its input", n)
+			}
+		}
+	}
+	x := randSignal(128, 9)
+	if a := testing.AllocsPerRun(20, func() {
+		_, buf = MedianInto(x, buf)
+	}); a > 0 {
+		t.Fatalf("warm MedianInto allocates %.0f times", a)
+	}
+}
+
+func TestDiffIntoMatchesDiff(t *testing.T) {
+	x := randSignal(100, 11)
+	want := Diff(x)
+	var out []float64
+	out = DiffInto(x, out)
+	if len(out) != len(want) {
+		t.Fatalf("length %d, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("sample %d: %v != %v", i, out[i], want[i])
+		}
+	}
+	if got := DiffInto([]float64{1}, out); len(got) != 0 {
+		t.Fatalf("short input: got length %d, want 0", len(got))
+	}
+	if a := testing.AllocsPerRun(20, func() {
+		out = DiffInto(x, out)
+	}); a > 0 {
+		t.Fatalf("warm DiffInto allocates %.0f times", a)
+	}
+}

@@ -116,17 +116,29 @@ func ArgAbsMax(x []float64) int {
 // Median returns the median of x without modifying it, or 0 for an empty
 // slice.
 func Median(x []float64) float64 {
+	m, _ := MedianInto(x, nil)
+	return m
+}
+
+// MedianInto is Median drawing its working copy from buf, which is
+// reused when its capacity suffices and grown otherwise — allocation-free
+// with a warm scratch. It returns the median and the (possibly regrown)
+// scratch for the next call.
+func MedianInto(x, buf []float64) (float64, []float64) {
 	if len(x) == 0 {
-		return 0
+		return 0, buf
 	}
-	tmp := make([]float64, len(x))
-	copy(tmp, x)
-	quickSelectSort(tmp)
-	n := len(tmp)
+	if cap(buf) < len(x) {
+		buf = make([]float64, len(x))
+	}
+	buf = buf[:len(x)]
+	copy(buf, x)
+	quickSelectSort(buf)
+	n := len(buf)
 	if n%2 == 1 {
-		return tmp[n/2]
+		return buf[n/2], buf
 	}
-	return (tmp[n/2-1] + tmp[n/2]) / 2
+	return (buf[n/2-1] + buf[n/2]) / 2, buf
 }
 
 // quickSelectSort sorts in place with insertion sort for small inputs and
@@ -212,11 +224,24 @@ func Diff(x []float64) []float64 {
 	if len(x) < 2 {
 		return nil
 	}
-	d := make([]float64, len(x)-1)
-	for i := range d {
-		d[i] = x[i+1] - x[i]
+	return DiffInto(x, nil)
+}
+
+// DiffInto is Diff writing into out (reused when capacity suffices,
+// grown otherwise). out may alias x. Inputs shorter than two samples
+// yield an empty slice. It returns the (possibly regrown) result.
+func DiffInto(x, out []float64) []float64 {
+	if len(x) < 2 {
+		return out[:0]
 	}
-	return d
+	if cap(out) < len(x)-1 {
+		out = make([]float64, len(x)-1)
+	}
+	out = out[:len(x)-1]
+	for i := range out {
+		out[i] = x[i+1] - x[i]
+	}
+	return out
 }
 
 // Correlation returns the Pearson correlation coefficient of two

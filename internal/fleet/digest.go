@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"hash"
+	"math"
+
+	"wbsn/internal/core"
+	"wbsn/internal/delineation"
+)
+
+// The digest helpers feed a patient's observable behaviour — node
+// events, the gateway's reconstructed signal and the recovered
+// fiducials — into an FNV-1a hash. Floats are hashed by their IEEE-754
+// bit pattern, so equal digests certify bit-identical results, the
+// property the fleet guarantees across shard counts.
+
+func hashInt(h hash.Hash64, v int) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(int64(v)))
+	h.Write(b[:])
+}
+
+func hashFloat(h hash.Hash64, v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	h.Write(b[:])
+}
+
+func hashFloats(h hash.Hash64, xs []float64) {
+	hashInt(h, len(xs))
+	for _, v := range xs {
+		hashFloat(h, v)
+	}
+}
+
+func hashWave(h hash.Hash64, w delineation.Wave) {
+	hashInt(h, w.On)
+	hashInt(h, w.Peak)
+	hashInt(h, w.Off)
+}
+
+func hashBeat(h hash.Hash64, b delineation.BeatFiducials) {
+	hashInt(h, b.R)
+	hashWave(h, b.QRS)
+	hashWave(h, b.P)
+	hashWave(h, b.T)
+}
+
+func hashEvent(h hash.Hash64, ev core.Event) {
+	hashInt(h, int(ev.Kind))
+	hashInt(h, ev.At)
+	hashInt(h, ev.Bytes)
+	hashInt(h, len(ev.Measurements))
+	for _, lead := range ev.Measurements {
+		hashFloats(h, lead)
+	}
+	hashBeat(h, ev.Beat.Fiducials)
+	hashInt(h, ev.Beat.Label)
+	hashFloat(h, ev.Beat.Membership)
+	if ev.Kind == core.EventAF {
+		hashInt(h, boolInt(ev.AF.AF))
+		hashFloat(h, ev.AF.Score)
+		hashInt(h, ev.AF.StartBeat)
+	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,443 @@
+// Package fleet scales the paper's single-patient pipeline to a
+// population: N independent patients — each with its own ECG generator
+// seed, streaming node, lossy radio link and gateway receiver — are
+// simulated concurrently on a fixed set of shard workers. The package is
+// the load harness behind the ROADMAP's production north star: per-node
+// cost bounds how many wearers one host core can serve, so the fleet
+// reports a real-time factor (simulated seconds per wall second)
+// alongside the clinical and radio metrics.
+//
+// Determinism is the design invariant: every patient's chain is a pure
+// function of its seeds (record synthesis, channel fading, ACK loss) and
+// the CS reconstruction is bit-identical however it is scheduled (the
+// gateway engine decodes with cloned, immutable solver state). Patient p
+// therefore produces the same event stream and the same digest whether
+// the fleet runs on 1 shard or 64 — which is what TestFleetBitIdentity
+// and the wbsn-sim -fleet sweep verify.
+//
+// Shard model: patients are dealt round-robin to Shards worker
+// goroutines. Each shard owns one pooled rig — a core.Stream and a
+// gateway.Receiver that are Reset between patients instead of rebuilt,
+// plus reusable block headers — so steady-state patient turnover does
+// not touch the allocator beyond the per-patient link/channel state and
+// the record itself. CS windows from every shard funnel into one shared
+// gateway.Engine worker pool for reconstruction.
+package fleet
+
+import (
+	"errors"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"wbsn/internal/core"
+	"wbsn/internal/delineation"
+	"wbsn/internal/ecg"
+	"wbsn/internal/gateway"
+	"wbsn/internal/link"
+)
+
+// ErrFleet is returned for invalid fleet configurations.
+var ErrFleet = errors.New("fleet: invalid configuration")
+
+// Config parameterises a fleet run.
+type Config struct {
+	// Patients is the population size (default 8).
+	Patients int
+	// Shards is the worker-goroutine count (default GOMAXPROCS, clamped
+	// to Patients).
+	Shards int
+	// DurationS is the per-patient record length in seconds (default 30).
+	DurationS float64
+	// Seed is the base seed: patient p derives its record, channel and
+	// ARQ randomness from Seed+p, so populations are reproducible and
+	// patients are mutually independent.
+	Seed int64
+	// Node configures every patient's sensor node (default ModeCS at the
+	// paper's 60% ratio; the sensing-matrix seed is shared fleet-wide,
+	// exactly like a deployed firmware image).
+	Node core.Config
+	// Noise is the additive noise mix of every synthesised record.
+	Noise ecg.NoiseConfig
+	// Channel is the Gilbert–Elliott radio channel of every patient (its
+	// Seed field is overridden per patient). The zero value is a
+	// lossless link.
+	Channel link.ChannelConfig
+	// ARQ configures the stop-and-wait sender (per-patient Seed
+	// override; the zero value uses the link defaults).
+	ARQ link.ARQConfig
+	// SolverIters overrides the gateway's FISTA iteration budget
+	// (0 keeps the gateway default of 150).
+	SolverIters int
+	// EngineWorkers sizes the shared reconstruction pool (default
+	// GOMAXPROCS). Negative disables the engine: receivers decode
+	// inline on their shard.
+	EngineWorkers int
+	// BlockS is the acquisition block in seconds: samples are pushed in
+	// blocks and the resulting events drained in one batch per block
+	// (default 1 s).
+	BlockS float64
+}
+
+func (c Config) withDefaults() Config {
+	out := c
+	if out.Patients <= 0 {
+		out.Patients = 8
+	}
+	if out.Shards <= 0 {
+		out.Shards = runtime.GOMAXPROCS(0)
+	}
+	if out.Shards > out.Patients {
+		out.Shards = out.Patients
+	}
+	if out.DurationS <= 0 {
+		out.DurationS = 30
+	}
+	if out.Node.Mode == core.ModeRawStreaming && out.Node.CSRatio == 0 {
+		// Zero Node means "the paper's CS node".
+		out.Node = core.Config{Mode: core.ModeCS, CSRatio: 60, Seed: out.Seed}
+	}
+	if out.Channel.PBadToGood == 0 && out.Channel.PGoodToBad == 0 {
+		out.Channel.PBadToGood = 1 // valid Markov chain for the clean default
+	}
+	if out.BlockS <= 0 {
+		out.BlockS = 1
+	}
+	return out
+}
+
+// PatientResult is one patient's end-to-end outcome.
+type PatientResult struct {
+	// Patient is the population index, Seed the derived patient seed.
+	Patient int
+	Seed    int64
+	// Shard is the worker that simulated this patient.
+	Shard int
+	// Events counts the node's emitted events; Packets/Delivered/Lost
+	// count the radio windows through the ARQ link.
+	Events    int
+	Packets   int
+	Delivered int
+	Lost      int
+	// DeliveryRatio is Delivered/Packets (1 for an idle link).
+	DeliveryRatio float64
+	// RadioEnergyJ is the radio energy spent including retransmissions;
+	// IdealEnergyJ is the lossless-link baseline (energy.RadioModel).
+	RadioEnergyJ float64
+	IdealEnergyJ float64
+	// Beats is the number of beats recovered by the remote (gateway)
+	// delineator in CS mode, or emitted by the node in analysis modes.
+	Beats int
+	// Se and PPV score the recovered R peaks against the record's ground
+	// truth (NaN when the record holds no annotated beats). PPV is the
+	// "specificity" of the delineation-evaluation literature.
+	Se, PPV float64
+	// Digest fingerprints the patient's full event stream, reconstructed
+	// signal and recovered fiducials; equal digests mean bit-identical
+	// end-to-end behaviour.
+	Digest uint64
+	// SimSeconds is the simulated signal duration.
+	SimSeconds float64
+}
+
+// Result aggregates one fleet run.
+type Result struct {
+	// Patients holds the per-patient outcomes in population order.
+	Patients []PatientResult
+	// Shards is the worker count actually used.
+	Shards int
+	// WallSeconds is the elapsed time of the parallel section;
+	// SimSeconds the summed simulated signal time.
+	WallSeconds float64
+	SimSeconds  float64
+	// RealTimeFactor is SimSeconds/WallSeconds — how many live patients
+	// this host could serve at this configuration.
+	RealTimeFactor float64
+	// MeanSe, MeanPPV and MeanDelivery average the per-patient scores
+	// (NaN scores are excluded).
+	MeanSe       float64
+	MeanPPV      float64
+	MeanDelivery float64
+	// RadioEnergyJ sums the fleet's radio spend.
+	RadioEnergyJ float64
+}
+
+// rig is one shard's pooled per-patient state: constructed once,
+// Reset between patients.
+type rig struct {
+	stream *core.Stream
+	rx     *gateway.Receiver
+	block  [][]float64
+}
+
+// Engine runs fleet simulations. It owns the shared node template and
+// the gateway reconstruction pool; one Engine can run many fleets
+// (records are replayed through pooled rigs).
+type Engine struct {
+	cfg  Config
+	node *core.Node
+	gcfg gateway.Config
+	pool *gateway.Engine
+}
+
+// NewEngine validates the configuration and builds the shared state:
+// the node template (one sensing matrix fleet-wide) and the
+// reconstruction worker pool.
+func NewEngine(cfg Config) (*Engine, error) {
+	c := cfg.withDefaults()
+	node, err := core.NewNode(c.Node)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: c, node: node}
+	if node.Config().Mode == core.ModeCS {
+		e.gcfg = gateway.MatchNode(node.Config())
+		if c.SolverIters > 0 {
+			e.gcfg.Solver.Iters = c.SolverIters
+		}
+		if c.EngineWorkers >= 0 {
+			pool, err := gateway.NewEngine(e.gcfg, gateway.EngineConfig{Workers: c.EngineWorkers})
+			if err != nil {
+				return nil, err
+			}
+			e.pool = pool
+		}
+	}
+	return e, nil
+}
+
+// Config returns the effective fleet configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Close releases the shared reconstruction pool.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+	}
+}
+
+// newRig builds one shard's pooled state.
+func (e *Engine) newRig() (*rig, error) {
+	stream, err := e.node.NewStream()
+	if err != nil {
+		return nil, err
+	}
+	r := &rig{stream: stream}
+	if e.node.Config().Mode == core.ModeCS {
+		rx, err := gateway.NewReceiver(e.gcfg)
+		if err != nil {
+			return nil, err
+		}
+		if e.pool != nil {
+			if err := rx.AttachEngine(e.pool); err != nil {
+				return nil, err
+			}
+		}
+		r.rx = rx
+	}
+	return r, nil
+}
+
+// Run simulates the configured population and returns the aggregated
+// result. Safe to call repeatedly; each call replays the same
+// population (same seeds) through fresh pooled rigs.
+func (e *Engine) Run() (*Result, error) {
+	c := e.cfg
+	res := &Result{
+		Patients: make([]PatientResult, c.Patients),
+		Shards:   c.Shards,
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for shard := 0; shard < c.Shards; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			r, err := e.newRig()
+			if err == nil {
+				for p := shard; p < c.Patients; p += c.Shards {
+					pr, perr := e.runPatient(r, p, shard)
+					if perr != nil {
+						err = perr
+						break
+					}
+					res.Patients[p] = pr
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(shard)
+	}
+	wg.Wait()
+	res.WallSeconds = time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var seSum, ppvSum float64
+	var seN, ppvN int
+	for _, pr := range res.Patients {
+		res.SimSeconds += pr.SimSeconds
+		res.MeanDelivery += pr.DeliveryRatio
+		res.RadioEnergyJ += pr.RadioEnergyJ
+		if !math.IsNaN(pr.Se) {
+			seSum += pr.Se
+			seN++
+		}
+		if !math.IsNaN(pr.PPV) {
+			ppvSum += pr.PPV
+			ppvN++
+		}
+	}
+	if c.Patients > 0 {
+		res.MeanDelivery /= float64(c.Patients)
+	}
+	res.MeanSe, res.MeanPPV = math.NaN(), math.NaN()
+	if seN > 0 {
+		res.MeanSe = seSum / float64(seN)
+	}
+	if ppvN > 0 {
+		res.MeanPPV = ppvSum / float64(ppvN)
+	}
+	if res.WallSeconds > 0 {
+		res.RealTimeFactor = res.SimSeconds / res.WallSeconds
+	}
+	return res, nil
+}
+
+// runPatient simulates one patient on the shard's pooled rig.
+func (e *Engine) runPatient(r *rig, p, shard int) (PatientResult, error) {
+	c := e.cfg
+	seed := c.Seed + int64(p)
+	pr := PatientResult{Patient: p, Seed: seed, Shard: shard, SimSeconds: c.DurationS}
+	rec := ecg.Generate(ecg.Config{Seed: seed, Duration: c.DurationS, Noise: c.Noise})
+
+	r.stream.Reset()
+	var lk *link.Link
+	if r.rx != nil {
+		r.rx.Reset()
+		chCfg := c.Channel
+		chCfg.Seed = seed
+		ch, err := link.NewChannel(chCfg)
+		if err != nil {
+			return pr, err
+		}
+		arq := c.ARQ
+		arq.Seed = seed
+		lk, err = link.NewLink(arq, ch, r.rx)
+		if err != nil {
+			return pr, err
+		}
+	}
+
+	digest := fnv.New64a()
+	var nodeBeats []delineation.BeatFiducials
+	consume := func(events []core.Event) error {
+		for _, ev := range events {
+			pr.Events++
+			hashEvent(digest, ev)
+			switch ev.Kind {
+			case core.EventPacket:
+				if ev.Measurements != nil && lk != nil {
+					if _, err := lk.SendMeasurements(ev.At, ev.Measurements); err != nil {
+						return err
+					}
+				}
+			case core.EventBeat:
+				nodeBeats = append(nodeBeats, ev.Beat.Fiducials)
+			}
+		}
+		return nil
+	}
+
+	// Batched acquisition: push one block, drain its events in one batch.
+	blockLen := int(c.BlockS * e.node.Config().Fs)
+	if blockLen < 1 {
+		blockLen = 1
+	}
+	if cap(r.block) < len(rec.Leads) {
+		r.block = make([][]float64, len(rec.Leads))
+	}
+	r.block = r.block[:len(rec.Leads)]
+	for at := 0; at < rec.Len(); at += blockLen {
+		end := at + blockLen
+		if end > rec.Len() {
+			end = rec.Len()
+		}
+		for li := range rec.Leads {
+			r.block[li] = rec.Leads[li][at:end]
+		}
+		events, err := r.stream.PushBlock(r.block)
+		if err != nil {
+			return pr, err
+		}
+		if err := consume(events); err != nil {
+			return pr, err
+		}
+	}
+	events, err := r.stream.Flush()
+	if err != nil {
+		return pr, err
+	}
+	if err := consume(events); err != nil {
+		return pr, err
+	}
+
+	// Close the radio hop, score the remote reconstruction.
+	recovered := nodeBeats
+	if lk != nil {
+		if err := lk.Close(); err != nil {
+			return pr, err
+		}
+		report := lk.Report()
+		pr.Packets = report.Packets
+		pr.Delivered = report.Delivered
+		pr.Lost = report.Lost
+		pr.DeliveryRatio = report.DeliveryRatio()
+		pr.RadioEnergyJ = report.EnergyJ
+		pr.IdealEnergyJ = report.IdealEnergyJ
+		for _, lead := range r.rx.Signal() {
+			hashFloats(digest, lead)
+		}
+		recovered, err = r.rx.Delineate()
+		if err != nil {
+			return pr, err
+		}
+	} else {
+		pr.DeliveryRatio = 1
+	}
+	pr.Beats = len(recovered)
+	for _, b := range recovered {
+		hashBeat(digest, b)
+	}
+	if len(rec.Beats) > 0 {
+		rep := delineation.Evaluate(rec, recovered, delineation.DefaultTolerances())
+		pr.Se = rep.R.Se()
+		pr.PPV = rep.R.PPV()
+	} else {
+		pr.Se, pr.PPV = math.NaN(), math.NaN()
+	}
+	pr.Digest = digest.Sum64()
+	return pr, nil
+}
+
+// Run is the one-shot convenience wrapper: build an engine, simulate,
+// tear down.
+func Run(cfg Config) (*Result, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	return e.Run()
+}

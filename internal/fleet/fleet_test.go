@@ -1,0 +1,253 @@
+package fleet
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"wbsn/internal/core"
+	"wbsn/internal/ecg"
+	"wbsn/internal/link"
+)
+
+// fastCfg keeps fleet tests quick: short records and a reduced FISTA
+// budget (reconstruction quality is irrelevant to scheduling and
+// determinism, which is what these tests pin down).
+func fastCfg(patients, shards int) Config {
+	return Config{
+		Patients:    patients,
+		Shards:      shards,
+		DurationS:   6,
+		Seed:        100,
+		SolverIters: 30,
+	}
+}
+
+func runFleet(t testing.TB, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFleetBitIdentity is the engine's core guarantee: every patient's
+// digest (events + reconstructed signal + recovered fiducials) is
+// identical whatever the shard count, so parallel execution is
+// indistinguishable from serial.
+func TestFleetBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	base := fastCfg(5, 1)
+	serial := runFleet(t, base)
+	for _, shards := range []int{2, 3, 5} {
+		cfg := base
+		cfg.Shards = shards
+		res := runFleet(t, cfg)
+		if res.Shards != shards {
+			t.Fatalf("shards: got %d want %d", res.Shards, shards)
+		}
+		for p := range serial.Patients {
+			s, g := serial.Patients[p], res.Patients[p]
+			if g.Digest != s.Digest {
+				t.Errorf("shards=%d patient %d: digest %#x != serial %#x", shards, p, g.Digest, s.Digest)
+			}
+			if g.Events != s.Events || g.Packets != s.Packets || g.Beats != s.Beats {
+				t.Errorf("shards=%d patient %d: counts diverged from serial", shards, p)
+			}
+			if g.Se != s.Se || g.PPV != s.PPV {
+				t.Errorf("shards=%d patient %d: scores diverged from serial", shards, p)
+			}
+		}
+	}
+}
+
+// TestFleetPooledRigReuse replays the same population twice through one
+// Engine: the second run reuses warmed rigs via Reset and must reproduce
+// the first run's digests exactly (no state bleed between runs or
+// between the patients sharing a shard's rig).
+func TestFleetPooledRigReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	e, err := NewEngine(fastCfg(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	first, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range first.Patients {
+		if first.Patients[p].Digest != second.Patients[p].Digest {
+			t.Errorf("patient %d: rig reuse changed the digest", p)
+		}
+	}
+}
+
+// TestFleetPatientsIndependent checks the seeding discipline: distinct
+// patients produce distinct records and digests, and each patient's
+// simulated duration and delivery accounting is filled in.
+func TestFleetPatientsIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	res := runFleet(t, fastCfg(4, 2))
+	seen := make(map[uint64]int)
+	for _, pr := range res.Patients {
+		if prev, dup := seen[pr.Digest]; dup {
+			t.Errorf("patients %d and %d share digest %#x", prev, pr.Patient, pr.Digest)
+		}
+		seen[pr.Digest] = pr.Patient
+		if pr.Packets == 0 || pr.Delivered != pr.Packets {
+			t.Errorf("patient %d: clean link delivered %d/%d", pr.Patient, pr.Delivered, pr.Packets)
+		}
+		if pr.DeliveryRatio != 1 {
+			t.Errorf("patient %d: delivery ratio %.3f on a clean link", pr.Patient, pr.DeliveryRatio)
+		}
+		if pr.RadioEnergyJ <= 0 || pr.RadioEnergyJ != pr.IdealEnergyJ {
+			t.Errorf("patient %d: clean-link energy %.3e (ideal %.3e)", pr.Patient, pr.RadioEnergyJ, pr.IdealEnergyJ)
+		}
+		if math.IsNaN(pr.Se) || pr.Se <= 0 {
+			t.Errorf("patient %d: Se %.3f", pr.Patient, pr.Se)
+		}
+		if pr.SimSeconds != 6 {
+			t.Errorf("patient %d: sim seconds %.1f", pr.Patient, pr.SimSeconds)
+		}
+	}
+	if res.SimSeconds != 24 {
+		t.Errorf("fleet sim seconds %.1f, want 24", res.SimSeconds)
+	}
+	if res.RealTimeFactor <= 0 {
+		t.Errorf("real-time factor %.2f", res.RealTimeFactor)
+	}
+	if res.MeanDelivery != 1 || math.IsNaN(res.MeanSe) || math.IsNaN(res.MeanPPV) {
+		t.Errorf("aggregates: delivery %.3f Se %.3f PPV %.3f", res.MeanDelivery, res.MeanSe, res.MeanPPV)
+	}
+}
+
+// TestFleetLossyChannel runs the population over a bursty channel and
+// checks the radio accounting reacts: retransmission energy above the
+// lossless baseline and (with the retry budget) a delivery ratio that is
+// still counted coherently. Determinism must hold under loss too.
+func TestFleetLossyChannel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	cfg := fastCfg(3, 1)
+	cfg.Channel = link.ChannelConfig{
+		PGoodToBad: 0.25,
+		PBadToGood: 0.3,
+		LossGood:   0.35,
+		LossBad:    0.7,
+	}
+	serial := runFleet(t, cfg)
+	cfg.Shards = 3
+	sharded := runFleet(t, cfg)
+	anyRetx := false
+	for p, pr := range serial.Patients {
+		if pr.Digest != sharded.Patients[p].Digest {
+			t.Errorf("patient %d: lossy run not deterministic across shard counts", p)
+		}
+		if pr.Delivered+pr.Lost != pr.Packets {
+			t.Errorf("patient %d: %d delivered + %d lost != %d packets", p, pr.Delivered, pr.Lost, pr.Packets)
+		}
+		if pr.RadioEnergyJ > pr.IdealEnergyJ {
+			anyRetx = true
+		}
+	}
+	if !anyRetx {
+		t.Error("no patient spent retransmission energy on a 5-50% loss channel")
+	}
+}
+
+// TestFleetAnalysisMode runs a node-side analysis fleet (no radio hop,
+// no gateway): beats come from the node delineator and the link metrics
+// stay at their idle defaults.
+func TestFleetAnalysisMode(t *testing.T) {
+	cfg := Config{
+		Patients:  4,
+		Shards:    2,
+		DurationS: 10,
+		Seed:      7,
+		Node:      core.Config{Mode: core.ModeDelineation},
+		Noise: ecg.NoiseConfig{
+			BaselineWander: 0.1,
+			EMG:            0.02,
+		},
+	}
+	res := runFleet(t, cfg)
+	for _, pr := range res.Patients {
+		if pr.Beats == 0 {
+			t.Errorf("patient %d: node delineator found no beats", pr.Patient)
+		}
+		if pr.Packets != 0 || pr.DeliveryRatio != 1 || pr.RadioEnergyJ != 0 {
+			t.Errorf("patient %d: link metrics non-idle without a radio hop", pr.Patient)
+		}
+		if math.IsNaN(pr.Se) || pr.Se < 0.8 {
+			t.Errorf("patient %d: Se %.3f", pr.Patient, pr.Se)
+		}
+	}
+	cfg.Shards = 1
+	serial := runFleet(t, cfg)
+	for p := range serial.Patients {
+		if serial.Patients[p].Digest != res.Patients[p].Digest {
+			t.Errorf("patient %d: analysis fleet not shard-invariant", p)
+		}
+	}
+}
+
+// TestFleetConfigDefaults pins the zero-value behaviour: a zero Config
+// becomes the paper's CS fleet sized to the host.
+func TestFleetConfigDefaults(t *testing.T) {
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	c := e.Config()
+	if c.Patients != 8 || c.DurationS != 30 || c.BlockS != 1 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if want := runtime.GOMAXPROCS(0); c.Shards != want && c.Shards != c.Patients {
+		t.Fatalf("default shards %d", c.Shards)
+	}
+	if c.Node.Mode != core.ModeCS || c.Node.CSRatio != 60 {
+		t.Fatalf("default node %+v", c.Node)
+	}
+}
+
+// TestFleetRaceHammer drives many small patients across many shards
+// through the shared reconstruction pool; under -race this exercises the
+// shard/engine interleavings for data races (CI runs it explicitly).
+func TestFleetRaceHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	cfg := Config{
+		Patients:      8,
+		Shards:        8,
+		DurationS:     4,
+		Seed:          55,
+		SolverIters:   15,
+		EngineWorkers: 4,
+		Channel: link.ChannelConfig{
+			PGoodToBad: 0.1,
+			PBadToGood: 0.4,
+			LossBad:    0.4,
+		},
+	}
+	res := runFleet(t, cfg)
+	for _, pr := range res.Patients {
+		if pr.Packets == 0 {
+			t.Errorf("patient %d pushed no packets", pr.Patient)
+		}
+	}
+}

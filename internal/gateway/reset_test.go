@@ -1,0 +1,96 @@
+package gateway
+
+import (
+	"testing"
+)
+
+// TestReceiverResetAcrossRecords replays two different records through
+// one pooled receiver with a Reset in between: the second record's
+// reconstruction must be bit-identical to a fresh receiver's, both on
+// the inline decode path and with a worker-pool engine attached — no
+// signal state bleeds between patients.
+func TestReceiverResetAcrossRecords(t *testing.T) {
+	eventsA, ncfg := encodeRecord(t, 41, 8)
+	eventsB, _ := encodeRecord(t, 42, 8)
+	cfg := fastConfig(ncfg)
+
+	for _, withEngine := range []bool{false, true} {
+		name := "inline"
+		if withEngine {
+			name = "engine"
+		}
+		t.Run(name, func(t *testing.T) {
+			var eng *Engine
+			if withEngine {
+				var err error
+				eng, err = NewEngine(cfg, EngineConfig{Workers: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eng.Close()
+			}
+			newRx := func() *Receiver {
+				rx, err := NewReceiver(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if eng != nil {
+					if err := rx.AttachEngine(eng); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return rx
+			}
+			pooled := newRx()
+			if err := pooled.ConsumeEvents(eventsA); err != nil {
+				t.Fatal(err)
+			}
+			if pooled.SamplesReceived() == 0 {
+				t.Fatal("record A produced no reconstructed samples")
+			}
+			pooled.Reset()
+			if pooled.SamplesReceived() != 0 {
+				t.Fatal("Reset left reconstructed samples behind")
+			}
+			if err := pooled.ConsumeEvents(eventsB); err != nil {
+				t.Fatal(err)
+			}
+
+			fresh := newRx()
+			if err := fresh.ConsumeEvents(eventsB); err != nil {
+				t.Fatal(err)
+			}
+			got, want := pooled.Signal(), fresh.Signal()
+			if len(got) != len(want) {
+				t.Fatalf("lead count %d != %d", len(got), len(want))
+			}
+			for li := range want {
+				if len(got[li]) != len(want[li]) {
+					t.Fatalf("lead %d length %d != %d", li, len(got[li]), len(want[li]))
+				}
+				for i := range want[li] {
+					if got[li][i] != want[li][i] {
+						t.Fatalf("lead %d sample %d: pooled receiver not bit-identical after Reset", li, i)
+					}
+				}
+			}
+			// The remote analysis must agree too.
+			gb, err := pooled.Delineate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb, err := fresh.Delineate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gb) != len(wb) {
+				t.Fatalf("beat count %d != %d", len(gb), len(wb))
+			}
+			for i := range wb {
+				if gb[i] != wb[i] {
+					t.Fatalf("beat %d fiducials diverged", i)
+				}
+			}
+		})
+	}
+}

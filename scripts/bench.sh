@@ -1,18 +1,21 @@
 #!/bin/sh
 # Runs the PR's performance benchmark suite and captures the raw
-# go-test JSON event stream in BENCH_PR2.json (one event per line;
-# benchmark results live in the "Output" fields of run/output events).
+# go-test JSON event stream (one event per line; benchmark results live
+# in the "Output" fields of run/output events).
 #
-# Usage: scripts/bench.sh [benchtime]
+# Usage: scripts/bench.sh [benchtime] [output]
 #   benchtime defaults to 1s; pass e.g. "1x" for a smoke run.
+#   output defaults to BENCH_PR3.json (the current PR's capture); pass
+#   e.g. BENCH_PR2.json to regenerate an earlier PR's file with the
+#   same bench set.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT="BENCH_PR2.json"
+OUT="${2:-BENCH_PR3.json}"
 
 go test -run '^$' \
-	-bench 'GatewayEndToEnd|GatewaySetup|ThroughputEngine|ReconstructParallel|FISTAReconstruct' \
+	-bench 'GatewayEndToEnd|GatewaySetup|ThroughputEngine|ReconstructParallel|FISTAReconstruct|FleetShards|FleetStreamPush' \
 	-benchtime "$BENCHTIME" -benchmem -json . | tee "$OUT"
 
 echo "wrote $OUT" >&2
