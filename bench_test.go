@@ -27,6 +27,7 @@ import (
 	"wbsn/internal/gateway"
 	"wbsn/internal/morpho"
 	"wbsn/internal/spline"
+	"wbsn/internal/telemetry"
 	"wbsn/internal/wavelet"
 	"wbsn/internal/wbsn"
 )
@@ -1135,5 +1136,64 @@ func BenchmarkFleetStreamPush(b *testing.B) {
 				push()
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// PR 4 — telemetry layer: the cost of observing the hot path.
+// ---------------------------------------------------------------------
+
+// BenchmarkTelemetryOverhead runs the BenchmarkFleetStreamPush loop with
+// and without the full metric family attached. All recording is
+// amortised at chunk boundaries — the mid-chunk Push executes no
+// telemetry code — so the acceptance bar is a <3% ns/op regression on
+// the instrumented variants.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 63, Duration: 40})
+	for _, mode := range []core.Mode{core.ModeCS, core.ModeDelineation} {
+		for _, instrumented := range []bool{false, true} {
+			tag := "off"
+			if instrumented {
+				tag = "on"
+			}
+			b.Run(fmt.Sprintf("%s/telemetry=%s", mode, tag), func(b *testing.B) {
+				cfg := core.Config{Mode: mode}
+				if mode == core.ModeCS {
+					cfg.CSRatio = 60
+					cfg.Seed = 14
+				}
+				node, err := core.NewNode(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stream, err := node.NewStream()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if instrumented {
+					set := telemetry.NewSet(telemetry.NewRegistry())
+					stream.SetTelemetry(set.Node)
+				}
+				sample := make([]float64, len(rec.Leads))
+				pos := 0
+				push := func() {
+					for li := range sample {
+						sample[li] = rec.Leads[li][pos%rec.Len()]
+					}
+					pos++
+					if _, err := stream.Push(sample); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for i := 0; i < 4096; i++ {
+					push()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					push()
+				}
+			})
+		}
 	}
 }

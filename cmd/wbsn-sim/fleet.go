@@ -16,9 +16,10 @@ import (
 
 	"wbsn/internal/fleet"
 	"wbsn/internal/link"
+	"wbsn/internal/telemetry"
 )
 
-func runFleetSweep(seed int64) error {
+func runFleetSweep(seed int64, tel *telemetry.Set) error {
 	maxShards := runtime.GOMAXPROCS(0)
 	// Exercise the multi-shard path (and its bit-identity) even on a
 	// single-core host, where the speedup honestly reports ~1x.
@@ -57,6 +58,7 @@ func runFleetSweep(seed int64) error {
 				DurationS: durationS,
 				Seed:      seed,
 				Channel:   channel,
+				Telemetry: tel,
 			})
 			if err != nil {
 				return err

@@ -11,6 +11,10 @@
 //	wbsn-sim -faulty     # sweep the lossy-link scenario instead
 //	wbsn-sim -throughput # sweep the gateway engine across worker counts
 //	wbsn-sim -fleet      # sweep the sharded multi-patient fleet engine
+//
+// Any run may add -telemetry addr to serve live metrics (/metrics,
+// /debug/vars, /debug/pprof) plus a periodic stderr summary; the fleet
+// sweep feeds the full per-stage pipeline instrumentation.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"wbsn/internal/telemetry"
 	"wbsn/internal/wbsn"
 )
 
@@ -28,10 +33,21 @@ func main() {
 		throughput = flag.Bool("throughput", false, "sweep the gateway reconstruction engine across worker counts")
 		fleetSweep = flag.Bool("fleet", false, "sweep the sharded multi-patient fleet across patients x shards")
 		seed       = flag.Int64("seed", 1, "branch-outcome seed")
+		telAddr    = flag.String("telemetry", "", "serve live metrics on this address (/metrics JSON, /debug/vars, /debug/pprof)")
+		telLinger  = flag.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the run (for external scrapers)")
 	)
 	flag.Parse()
+	var tel *telemetry.Set
+	if *telAddr != "" {
+		set, _, stop, err := startTelemetry(*telAddr, *telLinger)
+		if err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		defer stop()
+		tel = set
+	}
 	if *fleetSweep {
-		if err := runFleetSweep(*seed); err != nil {
+		if err := runFleetSweep(*seed, tel); err != nil {
 			fatalf("%v", err)
 		}
 		return

@@ -1,0 +1,53 @@
+package main
+
+// The -telemetry flag turns the simulator into an inspectable process:
+// an HTTP listener serves the live metric registry (/metrics as JSON,
+// /debug/vars for expvar consumers, /debug/pprof for the profiler)
+// while a periodic summary line on stderr keeps headless runs
+// observable. Telemetry is pure observation — every sweep's digests are
+// bit-identical with or without it.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"wbsn/internal/telemetry"
+)
+
+// summaryKeys is the stderr heartbeat: enough to watch a fleet run's
+// progress and radio health without scraping the endpoint.
+var summaryKeys = []string{
+	"fleet.patients.done",
+	"node.chunks",
+	"link.retransmissions",
+	"gateway.queue.depth",
+	"link.radio.energy_j",
+}
+
+// startTelemetry builds the full metric family, serves the inspection
+// endpoint on addr and starts the stderr summary ticker. It returns the
+// metric set to wire into sweeps, the bound address (addr may carry
+// port 0), and a stop function that flushes the final summary,
+// optionally lingers so an external scraper can take a last snapshot,
+// and closes the listener.
+func startTelemetry(addr string, linger time.Duration) (*telemetry.Set, string, func(), error) {
+	reg := telemetry.NewRegistry()
+	set := telemetry.NewSet(reg)
+	srv, err := telemetry.Serve(addr, reg)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	bound := srv.Addr()
+	fmt.Fprintf(os.Stderr, "telemetry: listening on http://%s/metrics\n", bound)
+	stopSummary := telemetry.StartSummary(os.Stderr, reg, 2*time.Second, summaryKeys...)
+	stop := func() {
+		stopSummary()
+		if linger > 0 {
+			fmt.Fprintf(os.Stderr, "telemetry: lingering %s on http://%s/metrics\n", linger, bound)
+			time.Sleep(linger)
+		}
+		srv.Close()
+	}
+	return set, bound, stop, nil
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"wbsn/internal/ecg"
+	"wbsn/internal/telemetry"
 )
 
 // TestStreamPushSteadyStateAllocs is the allocation regression guard for
@@ -191,6 +192,91 @@ func TestStreamResetReplayTwoRecords(t *testing.T) {
 			want := run(fresh, recB)
 			if err := eventsEqual(got, want); err != nil {
 				t.Fatalf("reset replay diverged from fresh stream: %v", err)
+			}
+		})
+	}
+}
+
+// TestStreamPushInstrumentedAllocs proves the telemetry layer keeps its
+// "free when idle, amortised at chunk boundaries" promise: with a full
+// metric family attached, (a) per-chunk allocation behaviour stays
+// within the same budget as the uninstrumented stream, and (b) mid-chunk
+// pushes — the overwhelmingly common case, where the instrumentation
+// executes no code at all — allocate exactly zero.
+func TestStreamPushInstrumentedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skipped under -race (pool caching disabled)")
+	}
+	rec := ecg.Generate(ecg.Config{Seed: 41, Duration: 40})
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"raw", Config{Mode: ModeRawStreaming}},
+		{"cs", Config{Mode: ModeCS, CSRatio: 60, Seed: 3}},
+		{"delineation", Config{Mode: ModeDelineation}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			node, err := NewNode(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := node.NewStream()
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := telemetry.NewRegistry()
+			set := telemetry.NewSet(reg)
+			stream.SetTelemetry(set.Node)
+			hop := streamHop(stream)
+			sample := make([]float64, len(rec.Leads))
+			pos := 0
+			pushOne := func() {
+				for li := range sample {
+					sample[li] = rec.Leads[li][pos%rec.Len()]
+				}
+				pos++
+				if _, err := stream.Push(sample); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 4*hop; i++ {
+				pushOne()
+			}
+			// Same per-chunk budget as the uninstrumented guard above.
+			allocs := testing.AllocsPerRun(8, func() {
+				for i := 0; i < hop; i++ {
+					pushOne()
+				}
+			})
+			perPush := allocs / float64(hop)
+			t.Logf("%s instrumented: %.0f allocs per chunk (%.4f per Push)", tc.name, allocs, perPush)
+			if perPush > 2 {
+				t.Fatalf("instrumented steady-state Push averages %.3f allocs (> 2): %s", perPush, tc.name)
+			}
+			if allocs > 200 {
+				t.Fatalf("instrumented chunk processing allocates %.0f times (> 200): %s", allocs, tc.name)
+			}
+			// Strict zero-allocation guard for mid-chunk pushes: align to
+			// the just-drained state (the buffer holds exactly the
+			// chunkLen-hop overlap), then measure hop-1 pushes — one short
+			// of the next drain, so telemetry must do literally nothing.
+			// AllocsPerRun calls the body runs+1 times.
+			for len(stream.buf[0]) != stream.chunkLen-stream.hop {
+				pushOne()
+			}
+			if hop > 2 {
+				if a := testing.AllocsPerRun(hop-2, pushOne); a != 0 {
+					t.Fatalf("mid-chunk instrumented Push allocates %.2f/op, want exactly 0", a)
+				}
+			}
+			// The attached family actually observed the traffic.
+			if set.Node.Chunks.Value() == 0 || set.Node.Samples.Value() == 0 {
+				t.Error("node metrics not populated")
+			}
+			if set.Stages.Stage(telemetry.StageAcquire).Count() == 0 {
+				t.Error("acquire stage histogram empty")
 			}
 		})
 	}

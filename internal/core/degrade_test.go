@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"wbsn/internal/telemetry"
+)
 
 func TestModeControllerValidation(t *testing.T) {
 	if _, err := NewModeController(Mode(99), DegradeConfig{}); err != ErrConfig {
@@ -88,5 +92,83 @@ func TestModeControllerRespectsBounds(t *testing.T) {
 	}
 	if mc.Mode() != ModeRawStreaming {
 		t.Errorf("mode %v, want ModeRawStreaming after recovery", mc.Mode())
+	}
+}
+
+// TestModeControllerTelemetryLadderEdges walks the full ladder up and
+// back down and checks every edge emits exactly one telemetry event
+// with the correct from/to modes — the invariant the mode dashboard
+// depends on (a missed or doubled edge would desynchronise the
+// current-mode gauge from the controller).
+func TestModeControllerTelemetryLadderEdges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	mm := telemetry.NewModeMetrics(reg, ModeNames())
+	mc, err := NewModeController(ModeRawStreaming, DegradeConfig{
+		Window:   1,
+		HoldGood: 1,
+		MinMode:  ModeRawStreaming,
+		MaxMode:  ModeAFAlarm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.SetTelemetry(mm)
+	if got := mm.Current.Value(); got != int64(ModeRawStreaming) {
+		t.Fatalf("current gauge seeded to %d, want %d", got, ModeRawStreaming)
+	}
+
+	// Quality 0 forces one upgrade-the-ladder step per observation;
+	// quality 1 (with HoldGood=1) one recovery step per observation.
+	at := 0
+	for i := 0; i < int(ModeAFAlarm); i++ {
+		if _, changed := mc.Observe(at, 0); !changed {
+			t.Fatalf("observation %d did not climb the ladder", at)
+		}
+		at++
+	}
+	for i := 0; i < int(ModeAFAlarm); i++ {
+		if _, changed := mc.Observe(at, 1); !changed {
+			t.Fatalf("observation %d did not recover", at)
+		}
+		at++
+	}
+
+	wantEdges := 2 * int(ModeAFAlarm)
+	if got := mm.Transitions.Value(); got != uint64(wantEdges) {
+		t.Fatalf("transition counter %d, want %d", got, wantEdges)
+	}
+	evs := mm.Events()
+	trs := mc.Transitions()
+	if len(evs) != wantEdges || len(trs) != wantEdges {
+		t.Fatalf("events %d / transitions %d, want %d each", len(evs), len(trs), wantEdges)
+	}
+	for i, ev := range evs {
+		// Expected edge i: up 0->1..3->4, then down 4->3..1->0.
+		wantFrom, wantTo := i, i+1
+		if i >= int(ModeAFAlarm) {
+			wantFrom = 2*int(ModeAFAlarm) - i
+			wantTo = wantFrom - 1
+		}
+		if ev.From != wantFrom || ev.To != wantTo {
+			t.Errorf("event %d edge %d->%d, want %d->%d", i, ev.From, ev.To, wantFrom, wantTo)
+		}
+		if ev.At != trs[i].At || ev.From != int(trs[i].From) || ev.To != int(trs[i].To) {
+			t.Errorf("event %d diverges from controller history: %+v vs %+v", i, ev, trs[i])
+		}
+		if ev.FromName != Mode(ev.From).String() || ev.ToName != Mode(ev.To).String() {
+			t.Errorf("event %d names %q->%q do not match modes", i, ev.FromName, ev.ToName)
+		}
+	}
+	// Exactly one hit per directed edge, both directions of every rung.
+	for m := int(ModeRawStreaming); m < int(ModeAFAlarm); m++ {
+		if got := mm.Edge(m, m+1).Value(); got != 1 {
+			t.Errorf("edge %d->%d counter %d, want 1", m, m+1, got)
+		}
+		if got := mm.Edge(m+1, m).Value(); got != 1 {
+			t.Errorf("edge %d->%d counter %d, want 1", m+1, m, got)
+		}
+	}
+	if got := mm.Current.Value(); got != int64(ModeRawStreaming) {
+		t.Errorf("current gauge %d after round trip, want %d", got, ModeRawStreaming)
 	}
 }

@@ -2,12 +2,14 @@ package core
 
 import (
 	"errors"
+	"time"
 
 	"wbsn/internal/af"
 	"wbsn/internal/cs"
 	"wbsn/internal/delineation"
 	"wbsn/internal/dsp"
 	"wbsn/internal/morpho"
+	"wbsn/internal/telemetry"
 )
 
 // ErrStream is returned for invalid streaming usage.
@@ -74,7 +76,33 @@ type Stream struct {
 	// beatBuf and featBuf are the classification-mode scratch: the
 	// extracted beat window and its projected feature vector.
 	beatBuf, featBuf []float64
+	// tel, when set, receives per-chunk counters and per-stage timings.
+	// Nothing is recorded per sample, so the Push hot path is identical
+	// with telemetry attached (TestStreamPushSteadyStateAllocs pins the
+	// instrumented path at 0 allocs mid-chunk).
+	tel *telemetry.NodeMetrics
+	// telCursor chains the per-stage timings within one chunk: each
+	// stage boundary takes a single clock reading and spans from the
+	// previous boundary (clock reads dominate telemetry cost on
+	// paravirtualised hosts, so stages share boundaries instead of each
+	// paying a start and an end read).
+	telCursor time.Time
 }
+
+// stageLap records the span from the previous lap point to now under
+// the given stage and advances the cursor — one clock read per stage
+// boundary. Callers must check s.tel != nil first.
+func (s *Stream) stageLap(stage telemetry.Stage, at int64) {
+	now := time.Now()
+	s.tel.Stages.Record(stage, at, s.telCursor.UnixNano(), int64(now.Sub(s.telCursor)))
+	s.telCursor = now
+}
+
+// SetTelemetry attaches (or detaches, with nil) the node metric family.
+// Call before pushing samples; the stream records chunk counts, event
+// counts and per-stage latencies into it. Telemetry is observation
+// only — the emitted events are bit-identical either way.
+func (s *Stream) SetTelemetry(tm *telemetry.NodeMetrics) { s.tel = tm }
 
 // NewStream creates a streaming processor for the node's mode.
 func (n *Node) NewStream() (*Stream, error) {
@@ -166,6 +194,9 @@ func (s *Stream) drain(flush bool) ([]Event, error) {
 		for i := range s.buf {
 			s.chunk[i] = s.buf[i][:take]
 		}
+		if s.tel != nil {
+			s.telCursor = time.Now()
+		}
 		evs, err := s.processChunk(s.chunk, s.bufStart)
 		if err != nil {
 			return nil, err
@@ -182,6 +213,14 @@ func (s *Stream) drain(flush bool) ([]Event, error) {
 		for i := range s.buf {
 			kept := copy(s.buf[i], s.buf[i][adv:])
 			s.buf[i] = s.buf[i][:kept]
+		}
+		if tm := s.tel; tm != nil {
+			// The acquire lap covers event assembly plus the compaction
+			// above (everything since the last stage boundary).
+			s.stageLap(telemetry.StageAcquire, int64(s.bufStart))
+			tm.Samples.Add(uint64(adv))
+			tm.Chunks.Inc()
+			tm.Events.Add(uint64(len(evs)))
 		}
 		s.bufStart += adv
 		if take < s.chunkLen {
@@ -200,6 +239,10 @@ func (s *Stream) processChunk(chunk [][]float64, base int) ([]Event, error) {
 	case ModeRawStreaming:
 		bytes := (len(chunk)*len(chunk[0])*n.cfg.BitsPerSample + 7) / 8
 		events = append(events, Event{Kind: EventPacket, At: base, Bytes: bytes})
+		if tm := s.tel; tm != nil {
+			tm.Packets.Inc()
+			tm.TxBytes.Add(uint64(bytes))
+		}
 	case ModeCS:
 		if len(chunk[0]) == n.cfg.CSWindow {
 			ys := n.enc.EncodeLeads(chunk)
@@ -219,6 +262,11 @@ func (s *Stream) processChunk(chunk [][]float64, base int) ([]Event, error) {
 			}
 			bytes := (n.enc.MeasurementLen()*len(chunk)*bits + 7) / 8
 			events = append(events, Event{Kind: EventPacket, At: base, Bytes: bytes, Measurements: ys})
+			if tm := s.tel; tm != nil {
+				s.stageLap(telemetry.StageCS, int64(base))
+				tm.Packets.Inc()
+				tm.TxBytes.Add(uint64(bytes))
+			}
 		}
 	default:
 		// Per-chunk signal-quality gating: a lead that faults mid-record
@@ -229,6 +277,9 @@ func (s *Stream) processChunk(chunk [][]float64, base int) ([]Event, error) {
 			if err != nil {
 				return nil, err
 			}
+			if s.tel != nil {
+				s.stageLap(telemetry.StageFilter, int64(base))
+			}
 			s.filtered = filtered
 			leads = filtered
 		}
@@ -237,6 +288,9 @@ func (s *Stream) processChunk(chunk [][]float64, base int) ([]Event, error) {
 		beats, err := n.del.Delineate(combined)
 		if err != nil {
 			return nil, err
+		}
+		if s.tel != nil {
+			s.stageLap(telemetry.StageDelineate, int64(base))
 		}
 		refractory := int(0.2 * n.cfg.Fs)
 		for _, b := range beats {
@@ -266,6 +320,12 @@ func (s *Stream) processChunk(chunk [][]float64, base int) ([]Event, error) {
 					bo.Label = label
 					bo.Membership = mem
 				}
+				if s.tel != nil {
+					s.stageLap(telemetry.StageClassify, int64(absR))
+				}
+			}
+			if tm := s.tel; tm != nil {
+				tm.Beats.Inc()
 			}
 			events = append(events, Event{Kind: EventBeat, At: absR, Beat: bo})
 			if n.cfg.Mode == ModeAFAlarm {

@@ -37,6 +37,7 @@ import (
 	"wbsn/internal/ecg"
 	"wbsn/internal/gateway"
 	"wbsn/internal/link"
+	"wbsn/internal/telemetry"
 )
 
 // ErrFleet is returned for invalid fleet configurations.
@@ -79,6 +80,11 @@ type Config struct {
 	// blocks and the resulting events drained in one batch per block
 	// (default 1 s).
 	BlockS float64
+	// Telemetry, when set, wires every layer's metric family into the
+	// run: node stage timings, link ARQ counters, gateway queue/latency
+	// and the per-patient fleet rollups. Pure observation — digests are
+	// bit-identical with or without it (TestFleetTelemetryDigestIdentity).
+	Telemetry *telemetry.Set
 }
 
 func (c Config) withDefaults() Config {
@@ -198,7 +204,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 			e.gcfg.Solver.Iters = c.SolverIters
 		}
 		if c.EngineWorkers >= 0 {
-			pool, err := gateway.NewEngine(e.gcfg, gateway.EngineConfig{Workers: c.EngineWorkers})
+			ecfg := gateway.EngineConfig{Workers: c.EngineWorkers}
+			if c.Telemetry != nil {
+				ecfg.Metrics = c.Telemetry.Gateway
+			}
+			pool, err := gateway.NewEngine(e.gcfg, ecfg)
 			if err != nil {
 				return nil, err
 			}
@@ -223,6 +233,9 @@ func (e *Engine) newRig() (*rig, error) {
 	stream, err := e.node.NewStream()
 	if err != nil {
 		return nil, err
+	}
+	if tel := e.cfg.Telemetry; tel != nil {
+		stream.SetTelemetry(tel.Node)
 	}
 	r := &rig{stream: stream}
 	if e.node.Config().Mode == core.ModeCS {
@@ -312,6 +325,9 @@ func (e *Engine) Run() (*Result, error) {
 	if res.WallSeconds > 0 {
 		res.RealTimeFactor = res.SimSeconds / res.WallSeconds
 	}
+	if tel := c.Telemetry; tel != nil {
+		tel.Fleet.RTFMilli.Set(int64(res.RealTimeFactor * 1000))
+	}
 	return res, nil
 }
 
@@ -337,6 +353,9 @@ func (e *Engine) runPatient(r *rig, p, shard int) (PatientResult, error) {
 		lk, err = link.NewLink(arq, ch, r.rx)
 		if err != nil {
 			return pr, err
+		}
+		if tel := c.Telemetry; tel != nil {
+			lk.SetTelemetry(tel.Link)
 		}
 	}
 
@@ -428,7 +447,54 @@ func (e *Engine) runPatient(r *rig, p, shard int) (PatientResult, error) {
 		pr.Se, pr.PPV = math.NaN(), math.NaN()
 	}
 	pr.Digest = digest.Sum64()
+	if tel := c.Telemetry; tel != nil {
+		fm := tel.Fleet
+		fm.PatientsDone.Inc()
+		fm.EventsTotal.Add(uint64(pr.Events))
+		fm.Shard(shard).Inc()
+		fm.DeliveryPermille.Observe(uint64(pr.DeliveryRatio*1000 + 0.5))
+		fm.PatientMicroJ.Observe(uint64(pr.RadioEnergyJ * 1e6))
+		fm.RadioEnergyJ.Add(pr.RadioEnergyJ)
+		if !math.IsNaN(pr.Se) {
+			fm.SePermille.Observe(uint64(pr.Se*1000 + 0.5))
+		}
+		if !math.IsNaN(pr.PPV) {
+			fm.PPVPermille.Observe(uint64(pr.PPV*1000 + 0.5))
+		}
+		// PRD (percent RMS difference, the CS literature's distortion
+		// metric) is derived here — a pure read of the already-final
+		// reconstruction — so the digest path never changes.
+		if lk != nil {
+			if prd := prdPercent(rec.Leads, r.rx.Signal()); !math.IsNaN(prd) {
+				fm.PRDCentiPct.Observe(uint64(prd*100 + 0.5))
+			}
+		}
+	}
 	return pr, nil
+}
+
+// prdPercent computes the percent RMS difference between the original
+// and reconstructed multi-lead signals over their overlapping span.
+func prdPercent(orig, recon [][]float64) float64 {
+	var num, den float64
+	for li := range orig {
+		if li >= len(recon) {
+			break
+		}
+		n := len(orig[li])
+		if len(recon[li]) < n {
+			n = len(recon[li])
+		}
+		for i := 0; i < n; i++ {
+			d := orig[li][i] - recon[li][i]
+			num += d * d
+			den += orig[li][i] * orig[li][i]
+		}
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return 100 * math.Sqrt(num/den)
 }
 
 // Run is the one-shot convenience wrapper: build an engine, simulate,

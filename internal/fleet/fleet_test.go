@@ -8,6 +8,7 @@ import (
 	"wbsn/internal/core"
 	"wbsn/internal/ecg"
 	"wbsn/internal/link"
+	"wbsn/internal/telemetry"
 )
 
 // fastCfg keeps fleet tests quick: short records and a reduced FISTA
@@ -249,5 +250,69 @@ func TestFleetRaceHammer(t *testing.T) {
 		if pr.Packets == 0 {
 			t.Errorf("patient %d pushed no packets", pr.Patient)
 		}
+	}
+}
+
+// TestFleetTelemetryDigestIdentity is the observability invariant: a
+// fleet run with the full metric family attached produces bit-identical
+// per-patient digests to the same run without it — telemetry observes,
+// never perturbs — while actually populating every layer's metrics.
+func TestFleetTelemetryDigestIdentity(t *testing.T) {
+	cfg := fastCfg(4, 2)
+	cfg.Channel = link.ChannelConfig{
+		PGoodToBad: 0.05, PBadToGood: 0.3, LossGood: 0.02, LossBad: 0.5,
+	}
+	bare := runFleet(t, cfg)
+
+	set := telemetry.NewSet(telemetry.NewRegistry())
+	cfg.Telemetry = set
+	instrumented := runFleet(t, cfg)
+
+	for p := range bare.Patients {
+		b, g := bare.Patients[p], instrumented.Patients[p]
+		if g.Digest != b.Digest {
+			t.Errorf("patient %d: digest %#x with telemetry, %#x without", p, g.Digest, b.Digest)
+		}
+		if g.Events != b.Events || g.Packets != b.Packets || g.Delivered != b.Delivered {
+			t.Errorf("patient %d: counts diverged under telemetry", p)
+		}
+	}
+
+	// Every layer saw the traffic.
+	if got := set.Fleet.PatientsDone.Value(); got != uint64(cfg.Patients) {
+		t.Errorf("patients done %d, want %d", got, cfg.Patients)
+	}
+	if set.Fleet.DeliveryPermille.Count() != uint64(cfg.Patients) {
+		t.Error("delivery rollup missing patients")
+	}
+	if set.Fleet.PRDCentiPct.Count() == 0 {
+		t.Error("PRD rollup empty")
+	}
+	if set.Fleet.RadioEnergyJ.Value() <= 0 {
+		t.Error("fleet radio energy not accumulated")
+	}
+	if set.Node.Chunks.Value() == 0 || set.Node.Samples.Value() == 0 {
+		t.Error("node metrics empty")
+	}
+	if set.Link.Packets.Value() == 0 || set.Link.Attempts.Value() == 0 {
+		t.Error("link metrics empty")
+	}
+	if set.Gateway.Decoded.Value() == 0 {
+		t.Error("gateway metrics empty")
+	}
+	if set.Stages.Stage(telemetry.StageCS).Count() == 0 ||
+		set.Stages.Stage(telemetry.StageLink).Count() == 0 ||
+		set.Stages.Stage(telemetry.StageGatewayDecode).Count() == 0 {
+		t.Error("stage histograms missing pipeline coverage")
+	}
+	shardSum := uint64(0)
+	for s := 0; s < cfg.Shards; s++ {
+		shardSum += set.Fleet.Shard(s).Value()
+	}
+	if shardSum != uint64(cfg.Patients) {
+		t.Errorf("shard counters sum %d, want %d", shardSum, cfg.Patients)
+	}
+	if set.Fleet.RTFMilli.Value() <= 0 {
+		t.Error("real-time factor gauge not set")
 	}
 }

@@ -18,8 +18,11 @@ package gateway
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"wbsn/internal/cs"
+	"wbsn/internal/telemetry"
 )
 
 // EngineConfig sizes the worker pool.
@@ -28,6 +31,10 @@ type EngineConfig struct {
 	Workers int
 	// Queue is the bounded job-queue depth; 0 selects 2*Workers.
 	Queue int
+	// Metrics, when set, receives queue depth, worker utilisation and
+	// decode latency. Pure observation — reconstruction output is
+	// bit-identical with or without it.
+	Metrics *telemetry.GatewayMetrics
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -47,6 +54,7 @@ type Job struct {
 	measurements [][]float64
 	leads        [][]float64
 	err          error
+	seq          uint64
 	done         chan struct{}
 }
 
@@ -72,6 +80,8 @@ type Engine struct {
 	// queue under an in-flight send.
 	mu     sync.RWMutex
 	closed bool
+	seq    atomic.Uint64
+	tel    *telemetry.GatewayMetrics
 }
 
 // NewEngine builds a worker pool mirroring the given gateway Config.
@@ -84,7 +94,10 @@ func NewEngine(cfg Config, ecfg EngineConfig) (*Engine, error) {
 		return nil, err
 	}
 	ec := ecfg.withDefaults()
-	e := &Engine{cfg: c, ecfg: ec, m: m, jobs: make(chan *Job, ec.Queue)}
+	e := &Engine{cfg: c, ecfg: ec, m: m, jobs: make(chan *Job, ec.Queue), tel: ec.Metrics}
+	if tm := e.tel; tm != nil {
+		tm.Workers.Set(int64(ec.Workers))
+	}
 	for w := 0; w < ec.Workers; w++ {
 		dec := base
 		if w > 0 {
@@ -102,10 +115,28 @@ func (e *Engine) Workers() int { return e.ecfg.Workers }
 func (e *Engine) worker(dec *cs.Decoder) {
 	defer e.wg.Done()
 	for j := range e.jobs {
+		tm := e.tel
+		var t0 time.Time
+		if tm != nil {
+			tm.QueueDepth.Add(-1)
+			tm.BusyWorkers.Add(1)
+			t0 = time.Now()
+		}
 		if e.cfg.DisableJoint {
 			j.leads, j.err = dec.ReconstructLeads(j.measurements)
 		} else {
 			j.leads, j.err = dec.ReconstructJoint(j.measurements)
+		}
+		if tm != nil {
+			dur := time.Since(t0)
+			tm.BusyWorkers.Add(-1)
+			tm.DecodeNs.ObserveDuration(dur)
+			tm.Stages.Record(telemetry.StageGatewayDecode, int64(j.seq), t0.UnixNano(), int64(dur))
+			if j.err != nil {
+				tm.DecodeErrors.Inc()
+			} else {
+				tm.Decoded.Inc()
+			}
 		}
 		close(j.done)
 	}
@@ -123,11 +154,19 @@ func (e *Engine) Submit(measurements [][]float64) (*Job, error) {
 			return nil, ErrGateway
 		}
 	}
-	j := &Job{measurements: measurements, done: make(chan struct{})}
+	j := &Job{measurements: measurements, seq: e.seq.Add(1) - 1, done: make(chan struct{})}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return nil, ErrGateway
+	}
+	// The depth gauge counts jobs committed to the queue but not yet
+	// picked up; raising it before the (possibly blocking) send makes a
+	// full queue visible as depth > capacity rather than hiding the
+	// backpressure.
+	if tm := e.tel; tm != nil {
+		tm.Submitted.Inc()
+		tm.QueueDepth.Add(1)
 	}
 	e.jobs <- j
 	return j, nil

@@ -6,6 +6,7 @@ import (
 
 	"wbsn/internal/core"
 	"wbsn/internal/ecg"
+	"wbsn/internal/telemetry"
 )
 
 // encodeRecord runs a record through a ModeCS node stream and returns
@@ -280,4 +281,73 @@ func TestReceiverReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	equalSignals(t, first, rx.Signal(), "replay after Reset")
+}
+
+// TestEngineTelemetry decodes a batch with the gateway metric family
+// attached and checks the live gauges settle back to idle, every
+// submitted window is accounted for, and — the invariant everything
+// else rests on — the reconstructed signal is bit-identical to an
+// uninstrumented engine's.
+func TestEngineTelemetry(t *testing.T) {
+	events, ncfg := encodeRecord(t, 57, 10)
+	cfg := fastConfig(ncfg)
+
+	decode := func(ecfg EngineConfig) [][]float64 {
+		eng, err := NewEngine(cfg, ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		rx, err := NewReceiver(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rx.AttachEngine(eng); err != nil {
+			t.Fatal(err)
+		}
+		if err := rx.ConsumeEvents(events); err != nil {
+			t.Fatal(err)
+		}
+		return rx.Signal()
+	}
+
+	reg := telemetry.NewRegistry()
+	tm := telemetry.NewGatewayMetrics(reg, telemetry.NewStageSet(reg, telemetry.NewTracer(256)))
+	instrumented := decode(EngineConfig{Workers: 3, Metrics: tm})
+	bare := decode(EngineConfig{Workers: 3})
+	equalSignals(t, bare, instrumented, "telemetry-attached engine")
+
+	windows := 0
+	for _, e := range events {
+		if e.Kind == core.EventPacket && e.Measurements != nil {
+			windows++
+		}
+	}
+	if got := tm.Submitted.Value(); got != uint64(windows) {
+		t.Errorf("submitted %d, want %d", got, windows)
+	}
+	if got := tm.Decoded.Value(); got != uint64(windows) {
+		t.Errorf("decoded %d, want %d", got, windows)
+	}
+	if tm.DecodeErrors.Value() != 0 {
+		t.Errorf("decode errors %d", tm.DecodeErrors.Value())
+	}
+	if tm.QueueDepth.Value() != 0 {
+		t.Errorf("queue depth %d after drain, want 0", tm.QueueDepth.Value())
+	}
+	if tm.BusyWorkers.Value() != 0 {
+		t.Errorf("busy workers %d after drain, want 0", tm.BusyWorkers.Value())
+	}
+	if tm.Workers.Value() != 3 {
+		t.Errorf("workers gauge %d, want 3", tm.Workers.Value())
+	}
+	if tm.DecodeNs.Count() != uint64(windows) {
+		t.Errorf("decode latency observations %d, want %d", tm.DecodeNs.Count(), windows)
+	}
+	if got := tm.Stages.Stage(telemetry.StageGatewayDecode).Count(); got != uint64(windows) {
+		t.Errorf("gateway_decode spans %d, want %d", got, windows)
+	}
+	if tm.QueueDepth.High() < 1 {
+		t.Errorf("queue depth watermark %d, want >= 1", tm.QueueDepth.High())
+	}
 }

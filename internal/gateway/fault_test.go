@@ -22,7 +22,7 @@ func TestConsumePacketValidatesMeasurementLength(t *testing.T) {
 	}
 	// One lead short, one lead long, one lead nil: all rejected.
 	bad := [][][]float64{
-		{make([]float64, m - 1), make([]float64, m), make([]float64, m)},
+		{make([]float64, m-1), make([]float64, m), make([]float64, m)},
 		{make([]float64, m), make([]float64, m+1), make([]float64, m)},
 		{make([]float64, m), nil, make([]float64, m)},
 	}

@@ -3,8 +3,10 @@ package link
 import (
 	"errors"
 	"math/rand"
+	"time"
 
 	"wbsn/internal/energy"
+	"wbsn/internal/telemetry"
 )
 
 // ErrLink is returned for invalid link usage or configuration.
@@ -241,7 +243,14 @@ type Link struct {
 	rng    *rand.Rand
 	seq    uint32
 	report Report
+	// tel, when set, mirrors the Report counters into the live metric
+	// registry and prices every packet into the energy histograms. Pure
+	// observation: attaching it never changes delivery behaviour.
+	tel *telemetry.LinkMetrics
 }
+
+// SetTelemetry attaches (or detaches, with nil) the link metric family.
+func (l *Link) SetTelemetry(tm *telemetry.LinkMetrics) { l.tel = tm }
 
 // NewLink builds a link over the given channel delivering to sink.
 func NewLink(cfg ARQConfig, ch *Channel, sink Sink) (*Link, error) {
@@ -274,15 +283,39 @@ func (l *Link) SendMeasurements(windowStart int, measurements [][]float64) (bool
 	}
 	l.report.Packets++
 	l.report.IdealEnergyJ += l.cfg.Radio.TxEnergyJ(len(frame))
+	var t0 time.Time
+	if tm := l.tel; tm != nil {
+		tm.Packets.Inc()
+		t0 = time.Now()
+	}
+	packetEnergyJ := 0.0
+	attempts := 0
 	backoff := l.cfg.BackoffBaseS
 	for attempt := 0; attempt <= l.cfg.MaxRetries; attempt++ {
 		l.report.Attempts++
+		attempts++
 		if attempt > 0 {
 			l.report.Retransmissions++
 			l.report.BackoffS += backoff
 			backoff *= l.cfg.BackoffFactor
 		}
-		l.report.EnergyJ += l.cfg.Radio.TxEnergyJ(len(frame))
+		attemptJ := l.cfg.Radio.TxEnergyJ(len(frame))
+		l.report.EnergyJ += attemptJ
+		packetEnergyJ += attemptJ
+		if tm := l.tel; tm != nil {
+			tm.Attempts.Inc()
+			if attempt > 0 {
+				tm.Retransmissions.Inc()
+			}
+			// Sample the Gilbert–Elliott state the attempt is about to
+			// see — the occupancy split of radio spend across channel
+			// conditions.
+			if l.ch.Bad() {
+				tm.FramesBad.Inc()
+			} else {
+				tm.FramesGood.Inc()
+			}
+		}
 		acked := false
 		for _, d := range l.ch.Transmit(frame) {
 			rx, err := Decode(d)
@@ -299,20 +332,43 @@ func (l *Link) SendMeasurements(windowStart int, measurements [][]float64) (bool
 			}
 			if l.cfg.PAckLoss > 0 && l.rng.Float64() < l.cfg.PAckLoss {
 				l.report.AcksLost++
+				if tm := l.tel; tm != nil {
+					tm.AcksLost.Inc()
+				}
 				continue
 			}
 			acked = true
 		}
 		if acked {
 			l.report.Delivered++
+			l.finishPacket(windowStart, t0, packetEnergyJ, attempts, true)
 			return true, nil
 		}
 	}
 	l.report.Lost++
+	l.finishPacket(windowStart, t0, packetEnergyJ, attempts, false)
 	if err := l.ra.DeclareLost(p.Seq); err != nil {
 		return false, err
 	}
 	return false, nil
+}
+
+// finishPacket settles one window's telemetry: outcome counter, the
+// per-packet energy and attempt distributions, and the link-stage span.
+func (l *Link) finishPacket(windowStart int, t0 time.Time, energyJ float64, attempts int, delivered bool) {
+	tm := l.tel
+	if tm == nil {
+		return
+	}
+	if delivered {
+		tm.Delivered.Inc()
+	} else {
+		tm.Lost.Inc()
+	}
+	tm.RadioEnergyJ.Add(energyJ)
+	tm.PacketMicroJ.Observe(uint64(energyJ * 1e6))
+	tm.PacketAttempts.Observe(uint64(attempts))
+	tm.Stages.Record(telemetry.StageLink, int64(windowStart), t0.UnixNano(), int64(time.Since(t0)))
 }
 
 // Close drains the channel's reordering stage and the reassembler so

@@ -3,6 +3,8 @@ package link
 import (
 	"math/rand"
 	"testing"
+
+	"wbsn/internal/telemetry"
 )
 
 // recordingSink captures the reassembled stream for inspection.
@@ -275,3 +277,83 @@ func TestLinkDeterministic(t *testing.T) {
 		t.Errorf("same seeds diverged:\n%+v\n%+v", a, b)
 	}
 }
+
+// TestLinkTelemetryMirrorsReport runs a lossy session with the metric
+// family attached and checks every live counter agrees with the
+// authoritative Report — and that attaching telemetry does not perturb
+// the session (same report as an identical uninstrumented run).
+func TestLinkTelemetryMirrorsReport(t *testing.T) {
+	run := func(attach bool) (Report, *telemetry.LinkMetrics) {
+		ch, err := NewChannel(ChannelConfig{
+			PGoodToBad: 0.08, PBadToGood: 0.25, LossGood: 0.05, LossBad: 0.6, Seed: 17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := NewLink(ARQConfig{MaxRetries: 2, PAckLoss: 0.05, Seed: 5}, ch, &recordingSink{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tm *telemetry.LinkMetrics
+		if attach {
+			reg := telemetry.NewRegistry()
+			tm = telemetry.NewLinkMetrics(reg, telemetry.NewStageSet(reg, NewTracerForTest()))
+			l.SetTelemetry(tm)
+		}
+		for i := 0; i < 150; i++ {
+			if _, err := l.SendMeasurements(i*2, window(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return l.Report(), tm
+	}
+
+	r, tm := run(true)
+	checks := []struct {
+		name string
+		got  uint64
+		want int
+	}{
+		{"packets", tm.Packets.Value(), r.Packets},
+		{"delivered", tm.Delivered.Value(), r.Delivered},
+		{"lost", tm.Lost.Value(), r.Lost},
+		{"attempts", tm.Attempts.Value(), r.Attempts},
+		{"retransmissions", tm.Retransmissions.Value(), r.Retransmissions},
+		{"acks_lost", tm.AcksLost.Value(), r.AcksLost},
+	}
+	for _, c := range checks {
+		if c.got != uint64(c.want) {
+			t.Errorf("telemetry %s %d, report says %d", c.name, c.got, c.want)
+		}
+	}
+	// Every attempt saw exactly one channel state.
+	if gb := tm.FramesGood.Value() + tm.FramesBad.Value(); gb != uint64(r.Attempts) {
+		t.Errorf("GE occupancy %d frames, want %d attempts", gb, r.Attempts)
+	}
+	if r.Lost > 0 && tm.FramesBad.Value() == 0 {
+		t.Error("losses occurred but no attempt sampled the bad state")
+	}
+	// The energy ledger matches the report to float tolerance.
+	if got := tm.RadioEnergyJ.Value(); got < r.EnergyJ*0.999 || got > r.EnergyJ*1.001 {
+		t.Errorf("radio energy %.6e, report %.6e", got, r.EnergyJ)
+	}
+	if tm.PacketMicroJ.Count() != uint64(r.Packets) || tm.PacketAttempts.Count() != uint64(r.Packets) {
+		t.Error("per-packet histograms incomplete")
+	}
+	if tm.Stages.Stage(telemetry.StageLink).Count() != uint64(r.Packets) {
+		t.Error("link stage span count != packets")
+	}
+
+	// Pure observation: the instrumented and bare sessions are identical.
+	bare, _ := run(false)
+	if bare != r {
+		t.Errorf("telemetry changed link behaviour:\nwith:    %+v\nwithout: %+v", r, bare)
+	}
+}
+
+// NewTracerForTest builds a small tracer without importing the sizing
+// constant.
+func NewTracerForTest() *telemetry.Tracer { return telemetry.NewTracer(256) }

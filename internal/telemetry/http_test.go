@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	set := NewSet(reg)
+	set.Link.Retransmissions.Add(3)
+	set.Gateway.QueueDepth.Set(2)
+	set.Stages.Record(StageCS, 0, 1, 1500)
+	set.Link.RadioEnergyJ.Add(0.012)
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("invalid /metrics JSON: %v", err)
+	}
+	if snap.Counters["link.retransmissions"] != 3 {
+		t.Errorf("retx counter %d", snap.Counters["link.retransmissions"])
+	}
+	if snap.Gauges["gateway.queue.depth"].Value != 2 {
+		t.Errorf("queue gauge %+v", snap.Gauges["gateway.queue.depth"])
+	}
+	if h := snap.Histograms["pipeline.stage.cs.ns"]; h.Count != 1 {
+		t.Errorf("cs stage histogram %+v", h)
+	}
+	if snap.Floats["link.radio.energy_j"] != 0.012 {
+		t.Errorf("radio energy %v", snap.Floats["link.radio.energy_j"])
+	}
+	if len(snap.Trace) != 1 {
+		t.Errorf("trace spans %d, want 1", len(snap.Trace))
+	}
+
+	// The expvar and pprof surfaces respond too.
+	for _, path := range []string{"/debug/vars", "/debug/pprof/cmdline"} {
+		r, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d", path, r.StatusCode)
+		}
+	}
+}
+
+func TestServeTwiceDoesNotPanic(t *testing.T) {
+	// expvar registration is global and panics on duplicates; Serve must
+	// absorb repeated use (tests, multiple runs in one process).
+	a, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+}

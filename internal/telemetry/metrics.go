@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods are safe on a nil receiver (no-ops /
+// zero reads), so instrumented code never branches on "is telemetry
+// attached".
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// FloatCounter accumulates a float64 sum with a CAS loop — used for
+// physical quantities (joules) that do not fit integer counters. The
+// zero value is ready to use.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates x.
+func (f *FloatCounter) Add(x float64) {
+	if f == nil {
+		return
+	}
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated sum.
+func (f *FloatCounter) Value() float64 {
+	if f == nil {
+		return 0
+	}
+	return math.Float64frombits(f.bits.Load())
+}
+
+// Gauge is an atomic instantaneous value that also tracks its high
+// watermark (e.g. queue depth plus the deepest the queue ever got).
+// The zero value is ready to use.
+type Gauge struct {
+	v  atomic.Int64
+	hi atomic.Int64
+}
+
+// Set stores x.
+func (g *Gauge) Set(x int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(x)
+	g.raise(x)
+}
+
+// Add adjusts the gauge by d and returns the new value.
+func (g *Gauge) Add(d int64) int64 {
+	if g == nil {
+		return 0
+	}
+	x := g.v.Add(d)
+	g.raise(x)
+	return x
+}
+
+func (g *Gauge) raise(x int64) {
+	for {
+		hi := g.hi.Load()
+		if x <= hi || g.hi.CompareAndSwap(hi, x) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// High returns the high watermark.
+func (g *Gauge) High() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.hi.Load()
+}

@@ -1,0 +1,344 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+)
+
+// StageSet bundles the per-stage latency histograms with the shared
+// trace ring. Every pipeline layer records into the same StageSet, so
+// one /metrics snapshot shows the full chain's latency profile.
+type StageSet struct {
+	hist   [NumStages]*Histogram
+	tracer *Tracer
+}
+
+// NewStageSet registers one latency histogram per pipeline stage
+// (pipeline.stage.<name>.ns) and wires the trace ring.
+func NewStageSet(reg *Registry, tracer *Tracer) *StageSet {
+	ss := &StageSet{tracer: tracer}
+	for i := 0; i < NumStages; i++ {
+		s := Stage(i)
+		ss.hist[i] = reg.Histogram("pipeline.stage." + s.String() + ".ns")
+	}
+	return ss
+}
+
+// Record observes one stage execution: duration into the stage's
+// histogram plus a span in the trace ring. Nil-safe and
+// allocation-free.
+func (ss *StageSet) Record(stage Stage, at int64, startNs, durNs int64) {
+	if ss == nil {
+		return
+	}
+	if durNs < 0 {
+		durNs = 0
+	}
+	ss.hist[stage].Observe(uint64(durNs))
+	ss.tracer.Record(stage, at, startNs, durNs)
+}
+
+// Stage returns the latency histogram of one stage (for tests and
+// summaries).
+func (ss *StageSet) Stage(s Stage) *Histogram {
+	if ss == nil {
+		return nil
+	}
+	return ss.hist[s]
+}
+
+// NodeMetrics instruments core.Stream: per-stage timings are recorded
+// through Stages; the counters advance per processed chunk so the
+// per-sample Push path stays untouched.
+type NodeMetrics struct {
+	// Samples counts samples consumed by chunk processing; Chunks the
+	// processed chunks; Events/Beats/Packets the emitted events by kind;
+	// TxBytes the packetised payload bytes.
+	Samples *Counter
+	Chunks  *Counter
+	Events  *Counter
+	Beats   *Counter
+	Packets *Counter
+	TxBytes *Counter
+	Stages  *StageSet
+}
+
+// NewNodeMetrics registers the node metric family (node.*).
+func NewNodeMetrics(reg *Registry, stages *StageSet) *NodeMetrics {
+	return &NodeMetrics{
+		Samples: reg.Counter("node.samples"),
+		Chunks:  reg.Counter("node.chunks"),
+		Events:  reg.Counter("node.events"),
+		Beats:   reg.Counter("node.beats"),
+		Packets: reg.Counter("node.packets"),
+		TxBytes: reg.Counter("node.tx_bytes"),
+		Stages:  stages,
+	}
+}
+
+// LinkMetrics instruments link.Link: ARQ outcome counters, the
+// Gilbert–Elliott state occupancy of transmission attempts, and the
+// radio energy ledger.
+type LinkMetrics struct {
+	Packets         *Counter
+	Delivered       *Counter
+	Lost            *Counter
+	Attempts        *Counter
+	Retransmissions *Counter
+	AcksLost        *Counter
+	// FramesGood/FramesBad count transmission attempts by the channel
+	// state they saw — the Gilbert–Elliott occupancy.
+	FramesGood *Counter
+	FramesBad  *Counter
+	// RadioEnergyJ accumulates the spent radio energy; PacketMicroJ is
+	// the per-packet energy distribution (µJ, retransmissions included);
+	// PacketAttempts the attempts-per-packet distribution.
+	RadioEnergyJ   *FloatCounter
+	PacketMicroJ   *Histogram
+	PacketAttempts *Histogram
+	Stages         *StageSet
+}
+
+// NewLinkMetrics registers the link metric family (link.*).
+func NewLinkMetrics(reg *Registry, stages *StageSet) *LinkMetrics {
+	return &LinkMetrics{
+		Packets:         reg.Counter("link.packets"),
+		Delivered:       reg.Counter("link.delivered"),
+		Lost:            reg.Counter("link.lost"),
+		Attempts:        reg.Counter("link.attempts"),
+		Retransmissions: reg.Counter("link.retransmissions"),
+		AcksLost:        reg.Counter("link.acks_lost"),
+		FramesGood:      reg.Counter("link.frames.good_state"),
+		FramesBad:       reg.Counter("link.frames.bad_state"),
+		RadioEnergyJ:    reg.FloatCounter("link.radio.energy_j"),
+		PacketMicroJ:    reg.Histogram("link.radio.packet_uj"),
+		PacketAttempts:  reg.Histogram("link.packet.attempts"),
+		Stages:          stages,
+	}
+}
+
+// GatewayMetrics instruments gateway.Engine: queue depth (with high
+// watermark), worker utilisation and decode latency.
+type GatewayMetrics struct {
+	Submitted    *Counter
+	Decoded      *Counter
+	DecodeErrors *Counter
+	// QueueDepth is jobs submitted but not yet picked up; BusyWorkers
+	// the workers currently decoding; Workers the pool size.
+	QueueDepth  *Gauge
+	BusyWorkers *Gauge
+	Workers     *Gauge
+	DecodeNs    *Histogram
+	Stages      *StageSet
+}
+
+// NewGatewayMetrics registers the gateway metric family (gateway.*).
+func NewGatewayMetrics(reg *Registry, stages *StageSet) *GatewayMetrics {
+	return &GatewayMetrics{
+		Submitted:    reg.Counter("gateway.submitted"),
+		Decoded:      reg.Counter("gateway.decoded"),
+		DecodeErrors: reg.Counter("gateway.decode_errors"),
+		QueueDepth:   reg.Gauge("gateway.queue.depth"),
+		BusyWorkers:  reg.Gauge("gateway.workers.busy"),
+		Workers:      reg.Gauge("gateway.workers.total"),
+		DecodeNs:     reg.Histogram("gateway.decode.ns"),
+		Stages:       stages,
+	}
+}
+
+// FleetMetrics instruments fleet.Engine: population rollups plus lazy
+// per-shard patient counters.
+type FleetMetrics struct {
+	reg *Registry
+	// PatientsDone counts completed patient simulations; the histograms
+	// are per-patient rollups in scaled integer units (permille for the
+	// ratios, PRD in hundredths of a percent, energy in µJ).
+	PatientsDone     *Counter
+	EventsTotal      *Counter
+	DeliveryPermille *Histogram
+	SePermille       *Histogram
+	PPVPermille      *Histogram
+	PRDCentiPct      *Histogram
+	PatientMicroJ    *Histogram
+	RadioEnergyJ     *FloatCounter
+	// RTFMilli is the last run's real-time factor ×1000.
+	RTFMilli *Gauge
+
+	mu     sync.Mutex
+	shards map[int]*Counter
+}
+
+// NewFleetMetrics registers the fleet metric family (fleet.*).
+func NewFleetMetrics(reg *Registry) *FleetMetrics {
+	return &FleetMetrics{
+		reg:              reg,
+		PatientsDone:     reg.Counter("fleet.patients.done"),
+		EventsTotal:      reg.Counter("fleet.events"),
+		DeliveryPermille: reg.Histogram("fleet.patient.delivery_permille"),
+		SePermille:       reg.Histogram("fleet.patient.se_permille"),
+		PPVPermille:      reg.Histogram("fleet.patient.ppv_permille"),
+		PRDCentiPct:      reg.Histogram("fleet.patient.prd_centipct"),
+		PatientMicroJ:    reg.Histogram("fleet.patient.radio_uj"),
+		RadioEnergyJ:     reg.FloatCounter("fleet.radio.energy_j"),
+		RTFMilli:         reg.Gauge("fleet.rtf_milli"),
+	}
+}
+
+// Shard returns shard i's completed-patients counter
+// (fleet.shard.<i>.patients), creating it on first use. Cold path: one
+// lookup per patient.
+func (f *FleetMetrics) Shard(i int) *Counter {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.shards == nil {
+		f.shards = make(map[int]*Counter)
+	}
+	c, ok := f.shards[i]
+	if !ok {
+		c = f.reg.Counter(fmt.Sprintf("fleet.shard.%02d.patients", i))
+		f.shards[i] = c
+	}
+	return c
+}
+
+// ModeEvent is one recorded degradation-ladder transition.
+type ModeEvent struct {
+	At       int     `json:"at"`
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	FromName string  `json:"from_name"`
+	ToName   string  `json:"to_name"`
+	Quality  float64 `json:"quality"`
+}
+
+// modeEventRing bounds the kept transition history.
+const modeEventRing = 256
+
+// ModeMetrics instruments core.ModeController: one counter per ladder
+// edge, the current-mode gauge and a bounded event history. Mode names
+// are supplied by the caller so this package stays dependency-free.
+type ModeMetrics struct {
+	names []string
+	// Transitions counts every mode change; Current is the mode index
+	// after the latest change.
+	Transitions *Counter
+	Current     *Gauge
+	edges       [][]*Counter
+
+	mu     sync.Mutex
+	events []ModeEvent
+	next   int
+	filled bool
+}
+
+// NewModeMetrics registers the mode metric family (mode.*): edge
+// counters are pre-registered for every adjacent mode pair in both
+// directions, so /metrics exposes the full ladder before any
+// transition fires.
+func NewModeMetrics(reg *Registry, names []string) *ModeMetrics {
+	m := &ModeMetrics{
+		names:       names,
+		Transitions: reg.Counter("mode.transitions"),
+		Current:     reg.Gauge("mode.current"),
+		edges:       make([][]*Counter, len(names)),
+	}
+	for i := range m.edges {
+		m.edges[i] = make([]*Counter, len(names))
+	}
+	for i := 0; i+1 < len(names); i++ {
+		m.edges[i][i+1] = reg.Counter("mode.edge." + names[i] + "->" + names[i+1])
+		m.edges[i+1][i] = reg.Counter("mode.edge." + names[i+1] + "->" + names[i])
+	}
+	return m
+}
+
+// Edge returns the counter of the from→to ladder edge (nil when out of
+// range or non-adjacent).
+func (m *ModeMetrics) Edge(from, to int) *Counter {
+	if m == nil || from < 0 || to < 0 || from >= len(m.edges) || to >= len(m.edges) {
+		return nil
+	}
+	return m.edges[from][to]
+}
+
+// RecordTransition logs one ladder transition.
+func (m *ModeMetrics) RecordTransition(at, from, to int, quality float64) {
+	if m == nil {
+		return
+	}
+	m.Transitions.Inc()
+	m.Current.Set(int64(to))
+	m.Edge(from, to).Inc()
+	ev := ModeEvent{At: at, From: from, To: to, Quality: quality}
+	if from >= 0 && from < len(m.names) {
+		ev.FromName = m.names[from]
+	}
+	if to >= 0 && to < len(m.names) {
+		ev.ToName = m.names[to]
+	}
+	m.mu.Lock()
+	if len(m.events) < modeEventRing {
+		m.events = append(m.events, ev)
+	} else {
+		m.events[m.next] = ev
+		m.filled = true
+	}
+	m.next = (m.next + 1) % modeEventRing
+	m.mu.Unlock()
+}
+
+// Events returns the recorded transitions, oldest first (bounded by the
+// ring size).
+func (m *ModeMetrics) Events() []ModeEvent {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.filled {
+		out := make([]ModeEvent, len(m.events))
+		copy(out, m.events)
+		return out
+	}
+	out := make([]ModeEvent, 0, modeEventRing)
+	for i := 0; i < modeEventRing; i++ {
+		out = append(out, m.events[(m.next+i)%modeEventRing])
+	}
+	return out
+}
+
+// Set bundles one registry with every layer's metric family — the
+// one-stop wiring object callers hand to fleet.Config.Telemetry or
+// attach layer by layer.
+type Set struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Stages   *StageSet
+	Node     *NodeMetrics
+	Link     *LinkMetrics
+	Gateway  *GatewayMetrics
+	Fleet    *FleetMetrics
+}
+
+// traceRingSpans sizes the Set's trace ring.
+const traceRingSpans = 4096
+
+// NewSet builds the full metric family over one registry and attaches
+// the trace ring to it.
+func NewSet(reg *Registry) *Set {
+	tracer := NewTracer(traceRingSpans)
+	reg.AttachTracer(tracer)
+	stages := NewStageSet(reg, tracer)
+	return &Set{
+		Registry: reg,
+		Tracer:   tracer,
+		Stages:   stages,
+		Node:     NewNodeMetrics(reg, stages),
+		Link:     NewLinkMetrics(reg, stages),
+		Gateway:  NewGatewayMetrics(reg, stages),
+		Fleet:    NewFleetMetrics(reg),
+	}
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SummaryLine renders one compact key=value line from the registry's
+// snapshot: counters and floats print their value, gauges
+// value/high, histograms count@p50ns. Keys resolve against all four
+// metric kinds; unknown keys print k=?. With no keys it prints every
+// counter (sorted) — verbose but complete.
+func SummaryLine(reg *Registry, keys ...string) string {
+	s := reg.Snapshot()
+	if len(keys) == 0 {
+		keys = make([]string, 0, len(s.Counters))
+		for k := range s.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+	}
+	var b strings.Builder
+	b.WriteString("telemetry:")
+	for _, k := range keys {
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
+		switch {
+		case hasCounter(s, k):
+			fmt.Fprintf(&b, "%d", s.Counters[k])
+		case hasFloat(s, k):
+			fmt.Fprintf(&b, "%.6g", s.Floats[k])
+		case hasGauge(s, k):
+			g := s.Gauges[k]
+			fmt.Fprintf(&b, "%d/hi%d", g.Value, g.High)
+		case hasHist(s, k):
+			h := s.Histograms[k]
+			fmt.Fprintf(&b, "%d@p50=%d", h.Count, h.P50)
+		default:
+			b.WriteByte('?')
+		}
+	}
+	return b.String()
+}
+
+func hasCounter(s Snapshot, k string) bool { _, ok := s.Counters[k]; return ok }
+func hasFloat(s Snapshot, k string) bool   { _, ok := s.Floats[k]; return ok }
+func hasGauge(s Snapshot, k string) bool   { _, ok := s.Gauges[k]; return ok }
+func hasHist(s Snapshot, k string) bool    { _, ok := s.Histograms[k]; return ok }
+
+// StartSummary prints a summary line to w every interval until the
+// returned stop function is called (which prints one final line so
+// short runs still leave a trace).
+func StartSummary(w io.Writer, reg *Registry, interval time.Duration, keys ...string) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(w, SummaryLine(reg, keys...))
+			case <-done:
+				fmt.Fprintln(w, SummaryLine(reg, keys...))
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import "sync"
+
+// Span is one recorded pipeline-stage execution.
+type Span struct {
+	// Stage identifies the pipeline stage.
+	Stage Stage `json:"-"`
+	// StageName is the stage's display name (filled on snapshot).
+	StageName string `json:"stage"`
+	// At is the caller's position tag (absolute sample index, window
+	// start or sequence number — whatever the layer keys its work by).
+	At int64 `json:"at"`
+	// StartNs is the wall-clock start (UnixNano); DurNs the duration.
+	StartNs int64 `json:"start_ns"`
+	DurNs   int64 `json:"dur_ns"`
+}
+
+// Tracer keeps the most recent spans in a preallocated ring buffer.
+// Record never allocates; a short mutex (a few stores) serialises the
+// cursor and the multi-word slot write, which is cheap because spans
+// are recorded per chunk/window, not per sample. Write methods are
+// nil-safe so layers can trace unconditionally.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []Span
+	next  uint64
+}
+
+// NewTracer builds a tracer holding the last size spans (minimum 16).
+func NewTracer(size int) *Tracer {
+	if size < 16 {
+		size = 16
+	}
+	return &Tracer{spans: make([]Span, size)}
+}
+
+// Record appends one span, overwriting the oldest once the ring is
+// full.
+func (t *Tracer) Record(stage Stage, at int64, startNs, durNs int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	s := &t.spans[t.next%uint64(len(t.spans))]
+	s.Stage = stage
+	s.At = at
+	s.StartNs = startNs
+	s.DurNs = durNs
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len returns how many spans have been recorded in total.
+func (t *Tracer) Len() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Snapshot returns up to max of the most recent spans, oldest first,
+// with stage names resolved.
+func (t *Tracer) Snapshot(max int) []Span {
+	if t == nil || max <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	if n > uint64(len(t.spans)) {
+		n = uint64(len(t.spans))
+	}
+	if n > uint64(max) {
+		n = uint64(max)
+	}
+	out := make([]Span, 0, n)
+	for i := t.next - n; i < t.next; i++ {
+		s := t.spans[i%uint64(len(t.spans))]
+		s.StageName = s.Stage.String()
+		out = append(out, s)
+	}
+	return out
+}

@@ -5,17 +5,30 @@
 #
 # Usage: scripts/bench.sh [benchtime] [output]
 #   benchtime defaults to 1s; pass e.g. "1x" for a smoke run.
-#   output defaults to BENCH_PR3.json (the current PR's capture); pass
-#   e.g. BENCH_PR2.json to regenerate an earlier PR's file with the
+#   output defaults to BENCH_PR4.json (the current PR's capture); pass
+#   e.g. BENCH_PR3.json to regenerate an earlier PR's file with the
 #   same bench set.
+#
+# The event stream is staged in a temp file and only promoted to the
+# output path when go test exits 0 — a compile error or bench panic
+# must fail this script loudly instead of leaving a truncated capture
+# behind (POSIX sh has no pipefail, so `go test | tee` would swallow
+# the failure).
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT="${2:-BENCH_PR3.json}"
+OUT="${2:-BENCH_PR4.json}"
+TMP="$(mktemp "$OUT.tmp.XXXXXX")"
+trap 'rm -f "$TMP"' EXIT
 
-go test -run '^$' \
-	-bench 'GatewayEndToEnd|GatewaySetup|ThroughputEngine|ReconstructParallel|FISTAReconstruct|FleetShards|FleetStreamPush' \
-	-benchtime "$BENCHTIME" -benchmem -json . | tee "$OUT"
-
+if ! go test -run '^$' \
+	-bench 'GatewayEndToEnd|GatewaySetup|ThroughputEngine|ReconstructParallel|FISTAReconstruct|FleetShards|FleetStreamPush|TelemetryOverhead' \
+	-benchtime "$BENCHTIME" -benchmem -json . >"$TMP"; then
+	echo "bench.sh: go test -bench failed; $OUT left untouched" >&2
+	cat "$TMP" >&2
+	exit 1
+fi
+mv "$TMP" "$OUT"
+cat "$OUT"
 echo "wrote $OUT" >&2

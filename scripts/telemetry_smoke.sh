@@ -1,0 +1,64 @@
+#!/bin/sh
+# Telemetry endpoint smoke test: start `wbsn-sim -fleet -telemetry` on
+# an ephemeral port, scrape /metrics while the sweep runs, and verify
+# the JSON carries real traffic on every pipeline layer (stage latency
+# histograms, ARQ counters, gateway queue gauge, radio energy). Fails
+# non-zero if the endpoint never comes up or never populates.
+set -eu
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+SIM_PID=""
+cleanup() {
+	[ -n "$SIM_PID" ] && kill "$SIM_PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/wbsn-sim" ./cmd/wbsn-sim
+go build -o "$WORK/telemetrycheck" ./scripts/telemetrycheck
+
+# Linger keeps the endpoint alive after the sweep so a slow scraper
+# still sees the fully-populated registry.
+"$WORK/wbsn-sim" -fleet -telemetry 127.0.0.1:0 -telemetry-linger 120s \
+	>"$WORK/stdout.log" 2>"$WORK/stderr.log" &
+SIM_PID=$!
+
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	ADDR="$(sed -n 's|^telemetry: listening on http://\([^/]*\)/metrics$|\1|p' "$WORK/stderr.log" | head -n 1)"
+	[ -n "$ADDR" ] && break
+	kill -0 "$SIM_PID" 2>/dev/null || { echo "telemetry_smoke: wbsn-sim exited early" >&2; cat "$WORK/stderr.log" >&2; exit 1; }
+	sleep 0.2
+	i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+	echo "telemetry_smoke: endpoint never announced its address" >&2
+	cat "$WORK/stderr.log" >&2
+	exit 1
+fi
+echo "telemetry_smoke: scraping http://$ADDR/metrics"
+
+i=0
+while [ $i -lt 300 ]; do
+	if "$WORK/telemetrycheck" "http://$ADDR/metrics" \
+		pipeline.stage.cs.ns \
+		pipeline.stage.link.ns \
+		pipeline.stage.gateway_decode.ns \
+		link.packets \
+		link.retransmissions \
+		gateway.queue.depth \
+		gateway.decode.ns \
+		link.radio.energy_j \
+		fleet.patients.done 2>"$WORK/check.log"; then
+		echo "telemetry_smoke: OK"
+		exit 0
+	fi
+	kill -0 "$SIM_PID" 2>/dev/null || { echo "telemetry_smoke: wbsn-sim exited before metrics populated" >&2; cat "$WORK/check.log" >&2; exit 1; }
+	sleep 0.2
+	i=$((i + 1))
+done
+echo "telemetry_smoke: metrics never fully populated" >&2
+cat "$WORK/check.log" >&2
+exit 1
