@@ -19,7 +19,7 @@ import (
 	"wbsn/internal/telemetry"
 )
 
-func runFleetSweep(seed int64, tel *telemetry.Set) error {
+func runFleetSweep(seed int64, tel *telemetry.Set, solverTol float64) error {
 	maxShards := runtime.GOMAXPROCS(0)
 	// Exercise the multi-shard path (and its bit-identity) even on a
 	// single-core host, where the speedup honestly reports ~1x.
@@ -41,8 +41,12 @@ func runFleetSweep(seed int64, tel *telemetry.Set) error {
 		LossGood:   0.02,
 		LossBad:    0.45,
 	}
-	fmt.Printf("== Fleet: sharded multi-patient simulation (GOMAXPROCS=%d, %.0f s/patient, bursty channel) ==\n",
-		runtime.GOMAXPROCS(0), durationS)
+	solver := "fixed-budget solver"
+	if solverTol > 0 {
+		solver = fmt.Sprintf("warm-started solver, tol %g", solverTol)
+	}
+	fmt.Printf("== Fleet: sharded multi-patient simulation (GOMAXPROCS=%d, %.0f s/patient, bursty channel, %s) ==\n",
+		runtime.GOMAXPROCS(0), durationS, solver)
 	fmt.Printf("%-9s %-7s %9s %8s %7s %7s %9s %10s %8s\n",
 		"patients", "shards", "wall(ms)", "RTF", "Se", "PPV", "delivery", "radio(mJ)", "speedup")
 
@@ -58,6 +62,8 @@ func runFleetSweep(seed int64, tel *telemetry.Set) error {
 				DurationS: durationS,
 				Seed:      seed,
 				Channel:   channel,
+				SolverTol: solverTol,
+				WarmStart: solverTol > 0,
 				Telemetry: tel,
 			})
 			if err != nil {

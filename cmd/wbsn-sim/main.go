@@ -33,6 +33,7 @@ func main() {
 		throughput = flag.Bool("throughput", false, "sweep the gateway reconstruction engine across worker counts")
 		fleetSweep = flag.Bool("fleet", false, "sweep the sharded multi-patient fleet across patients x shards")
 		seed       = flag.Int64("seed", 1, "branch-outcome seed")
+		solverTol  = flag.Float64("solver-tol", 0, "FISTA convergence tolerance: >0 enables early exit, adaptive restart and warm-started reconstruction in the fleet/throughput sweeps (0 keeps the fixed-budget solver)")
 		telAddr    = flag.String("telemetry", "", "serve live metrics on this address (/metrics JSON, /debug/vars, /debug/pprof)")
 		telLinger  = flag.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the run (for external scrapers)")
 	)
@@ -47,7 +48,7 @@ func main() {
 		tel = set
 	}
 	if *fleetSweep {
-		if err := runFleetSweep(*seed, tel); err != nil {
+		if err := runFleetSweep(*seed, tel, *solverTol); err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -59,7 +60,7 @@ func main() {
 		return
 	}
 	if *throughput {
-		if err := runThroughputSweep(*seed); err != nil {
+		if err := runThroughputSweep(*seed, *solverTol); err != nil {
 			fatalf("%v", err)
 		}
 		return

@@ -51,7 +51,7 @@ func encodeThroughputBatch(records int, duration float64, seed int64) ([][][][]f
 	return batches, ncfg, nil
 }
 
-func runThroughputSweep(seed int64) error {
+func runThroughputSweep(seed int64, solverTol float64) error {
 	const (
 		records  = 4
 		duration = 8.0 // seconds per record
@@ -61,13 +61,23 @@ func runThroughputSweep(seed int64) error {
 		return err
 	}
 	cfg := gateway.MatchNode(ncfg)
+	// Tol arms the convergence-aware early exit; windows stay cold
+	// (warm-starting would serialise each record's windows, defeating
+	// the point of the parallel sweep) so every decode remains an
+	// independent pure function and bit-identity across worker counts
+	// still holds.
+	cfg.Solver.Tol = solverTol
 	totalWindows := 0
 	for _, b := range batches {
 		totalWindows += len(b)
 	}
 	maxW := runtime.GOMAXPROCS(0)
-	fmt.Printf("== Gateway reconstruction throughput: %d records x %.0f s, %d windows, GOMAXPROCS=%d ==\n",
-		records, duration, totalWindows, maxW)
+	solver := "fixed-budget solver"
+	if solverTol > 0 {
+		solver = fmt.Sprintf("early-exit solver, tol %g", solverTol)
+	}
+	fmt.Printf("== Gateway reconstruction throughput: %d records x %.0f s, %d windows, GOMAXPROCS=%d, %s ==\n",
+		records, duration, totalWindows, maxW, solver)
 	fmt.Printf("%-8s %12s %12s %10s %9s\n", "workers", "records/s", "windows/s", "wall(ms)", "speedup")
 
 	var reference [][][][]float64 // per-record decoded windows at workers=1

@@ -18,7 +18,8 @@ type SolverConfig struct {
 	Wavelet *wavelet.Orthogonal
 	// Levels is the DWT depth (default 5).
 	Levels int
-	// Iters is the number of FISTA iterations (default 200).
+	// Iters is the FISTA iteration budget per pass (default 200). With
+	// Tol == 0 the solver always runs the full budget.
 	Iters int
 	// LambdaRel sets the ℓ1 weight as a fraction of ||ΨᵀΦᵀy||∞
 	// (default 0.01).
@@ -34,6 +35,18 @@ type SolverConfig struct {
 	PenalizeApprox bool
 	// Seed drives the power iteration for the Lipschitz estimate.
 	Seed int64
+	// Tol enables the convergence-aware solver: a pass stops early once
+	// the relative iterate change ‖θ_k − θ_{k−1}‖/‖θ_k‖ drops below Tol
+	// AND the objective has stopped decreasing by more than a Tol
+	// fraction between consecutive checks. Tol > 0 also arms the
+	// O'Donoghue–Candès adaptive momentum restart. Tol == 0 (the
+	// default) keeps the fixed-budget solver bit-identical to the
+	// pre-convergence-aware implementation.
+	Tol float64
+	// MinIters floors the iteration count of each pass before the
+	// convergence test may fire (default 10 when Tol > 0). It guards
+	// against exiting on the flat early iterations of a cold start.
+	MinIters int
 }
 
 func (c SolverConfig) withDefaults() SolverConfig {
@@ -50,8 +63,43 @@ func (c SolverConfig) withDefaults() SolverConfig {
 	if out.LambdaRel <= 0 {
 		out.LambdaRel = 0.01
 	}
+	if out.Tol > 0 && out.MinIters <= 0 {
+		out.MinIters = 10
+	}
 	return out
 }
+
+// SolveStats reports one reconstruction's convergence behaviour. All
+// counters aggregate over reweighting passes (and, for the multi-lead
+// independent solver, over leads).
+type SolveStats struct {
+	// Iters is the number of FISTA iterations actually executed.
+	Iters int
+	// Restarts counts adaptive momentum restarts (tk reset to 1).
+	Restarts int
+	// EarlyExit reports whether at least one pass stopped before its
+	// iteration budget.
+	EarlyExit bool
+	// Warm reports whether the solve was seeded from a WarmState.
+	Warm bool
+	// ColdFallback reports that a warm solve diverged and the window was
+	// re-solved from a cold start (the returned signal is the cold one).
+	ColdFallback bool
+}
+
+// add accumulates another solve's counters (per-lead aggregation).
+func (st *SolveStats) add(o SolveStats) {
+	st.Iters += o.Iters
+	st.Restarts += o.Restarts
+	st.EarlyExit = st.EarlyExit || o.EarlyExit
+	st.Warm = st.Warm || o.Warm
+	st.ColdFallback = st.ColdFallback || o.ColdFallback
+}
+
+// tinyNormSq keeps the relative-change test meaningful when the
+// iterate is exactly zero (silent windows converge immediately instead
+// of dividing by zero).
+const tinyNormSq = 1e-24
 
 // Decoder reconstructs windows from CS measurements. It is receiver-side
 // machinery (phones/servers in the paper's architecture) and therefore
@@ -65,7 +113,8 @@ func (c SolverConfig) withDefaults() SolverConfig {
 // literature underlying ref [6]).
 // All fields are immutable after construction; per-call work buffers come
 // from the scratch pool, so one Decoder may reconstruct from many
-// goroutines concurrently.
+// goroutines concurrently. Cross-window solver state lives in caller-
+// owned WarmState values, never in the Decoder.
 type Decoder struct {
 	phis    []Matrix
 	cfg     SolverConfig
@@ -142,6 +191,9 @@ func (d *Decoder) Clone() *Decoder {
 	return &out
 }
 
+// Config returns the effective solver configuration (defaults applied).
+func (d *Decoder) Config() SolverConfig { return d.cfg }
+
 // matrixFor returns the sensing matrix used by lead l.
 func (d *Decoder) matrixFor(l int) Matrix {
 	if l < len(d.phis) {
@@ -207,19 +259,55 @@ func softThreshold(v, t float64) float64 {
 	}
 }
 
-// Reconstruct solves min_θ ½||ΦΨθ − y||² + λ||Wθ||₁ with FISTA and
-// returns x̂ = Ψθ̂, using lead 0's sensing matrix. λ is set relative to
-// ||ΨᵀΦᵀy||∞.
-func (d *Decoder) Reconstruct(y []float64) ([]float64, error) {
-	return d.reconstructWith(d.phis[0], y)
+// objectiveSingle evaluates F(θ) = ½‖ΦΨθ − y‖² + λ‖W·rw·θ‖₁ for the
+// current reweighting. It clobbers s.x and s.ax (both free between
+// iterations); called only when the relative-change test has already
+// passed, so its cost — about half a gradient — is paid a handful of
+// times per solve.
+func (d *Decoder) objectiveSingle(phi Matrix, theta, y []float64, lambda float64, rw []float64, s *solverScratch) float64 {
+	d.synthInto(theta, s.x, s)
+	phi.Apply(s.x, s.ax)
+	data := 0.0
+	for i, v := range s.ax {
+		r := v - y[i]
+		data += r * r
+	}
+	pen := 0.0
+	for i, v := range theta {
+		if v != 0 {
+			pen += d.weights[i] * rw[i] * math.Abs(v)
+		}
+	}
+	return 0.5*data + lambda*pen
 }
 
-func (d *Decoder) reconstructWith(phi Matrix, y []float64) ([]float64, error) {
-	if len(y) != d.m {
-		return nil, ErrSolver
+// divergedSingle reports whether the final iterate explains the data
+// worse than the zero vector (‖ΦΨθ − y‖² > ‖y‖², or non-finite) — the
+// warm-start fallback trigger.
+func (d *Decoder) divergedSingle(phi Matrix, theta, y []float64, s *solverScratch) bool {
+	d.synthInto(theta, s.x, s)
+	phi.Apply(s.x, s.ax)
+	num, den := 0.0, 0.0
+	for i, v := range s.ax {
+		r := v - y[i]
+		num += r * r
 	}
-	s := d.pool.Get().(*solverScratch)
-	defer d.pool.Put(s)
+	for _, v := range y {
+		den += v * v
+	}
+	return !(num <= den)
+}
+
+// solveSingle runs the (re-weighted) single-lead FISTA solve for one
+// measurement vector, leaving the final coefficients in s.theta. warm,
+// when non-nil, seeds the first pass (and each reweighting pass then
+// refines the running estimate instead of restarting from zero); st,
+// when non-nil, accumulates convergence counters.
+//
+// With cfg.Tol == 0 and warm == nil this is bit-identical to the
+// fixed-budget solver of the previous revision: the adaptive branches
+// (restart, early exit) are armed only by Tol > 0.
+func (d *Decoder) solveSingle(phi Matrix, y []float64, s *solverScratch, warm []float64, st *SolveStats) {
 	phi.ApplyT(y, s.z)
 	d.analyzeInto(s.z, s.aty, s)
 	maxAbs := 0.0
@@ -230,22 +318,84 @@ func (d *Decoder) reconstructWith(phi Matrix, y []float64) ([]float64, error) {
 	}
 	lambda := d.cfg.LambdaRel * maxAbs
 	step := d.step
+	adaptive := d.cfg.Tol > 0
+	tol := d.cfg.Tol
 	theta, prev, mom, rw := s.theta, s.prev, s.mom, s.rw
 	for i := range rw {
 		rw[i] = 1
 	}
 	for pass := 0; pass <= d.cfg.Reweights; pass++ {
-		for i := range theta {
-			theta[i] = 0
-			prev[i] = 0
-			mom[i] = 0
+		switch {
+		case warm != nil && pass == 0:
+			copy(theta, warm)
+			copy(mom, theta)
+		case warm != nil:
+			// Warm reweighting passes continue from the running estimate.
+			copy(mom, theta)
+		default:
+			for i := range theta {
+				theta[i] = 0
+				prev[i] = 0
+				mom[i] = 0
+			}
 		}
 		tk := 1.0
+		lastObj := 0.0
+		objValid := false
 		for it := 0; it < d.cfg.Iters; it++ {
 			d.gradInto(phi, mom, y, s.grad, s)
 			copy(prev, theta)
-			for i := range theta {
-				theta[i] = softThreshold(mom[i]-step*s.grad[i], step*lambda*d.weights[i]*rw[i])
+			var diffSq, normSq float64
+			if adaptive {
+				for i := range theta {
+					v := softThreshold(mom[i]-step*s.grad[i], step*lambda*d.weights[i]*rw[i])
+					dd := v - prev[i]
+					diffSq += dd * dd
+					normSq += v * v
+					theta[i] = v
+				}
+			} else {
+				for i := range theta {
+					theta[i] = softThreshold(mom[i]-step*s.grad[i], step*lambda*d.weights[i]*rw[i])
+				}
+			}
+			if st != nil {
+				st.Iters++
+			}
+			restart := false
+			if adaptive {
+				// O'Donoghue–Candès gradient-scheme restart: the composite
+				// gradient mapping (mom − θ_new) points against the actual
+				// step (θ_new − θ_old) when the momentum has overshot —
+				// drop it and re-accelerate from rest.
+				dot := 0.0
+				for i := range theta {
+					dot += (mom[i] - theta[i]) * (theta[i] - prev[i])
+				}
+				if dot > 0 {
+					restart = true
+					if st != nil {
+						st.Restarts++
+					}
+				}
+			}
+			if adaptive && it+1 >= d.cfg.MinIters && diffSq <= tol*tol*(normSq+tinyNormSq) {
+				// Relative change has flattened; confirm the objective has
+				// stopped decreasing before stopping (a momentum stall can
+				// flatten θ while F still has room to fall).
+				obj := d.objectiveSingle(phi, theta, y, lambda, rw, s)
+				if objValid && obj >= lastObj*(1-tol) {
+					if st != nil {
+						st.EarlyExit = true
+					}
+					break
+				}
+				lastObj, objValid = obj, true
+			}
+			if restart {
+				tk = 1
+				copy(mom, theta)
+				continue
 			}
 			tNext := (1 + math.Sqrt(1+4*tk*tk)) / 2
 			beta := (tk - 1) / tNext
@@ -269,9 +419,63 @@ func (d *Decoder) reconstructWith(phi Matrix, y []float64) ([]float64, error) {
 			rw[i] = eps / (math.Abs(theta[i]) + eps)
 		}
 	}
+}
+
+// Reconstruct solves min_θ ½||ΦΨθ − y||² + λ||Wθ||₁ with FISTA and
+// returns x̂ = Ψθ̂, using lead 0's sensing matrix. λ is set relative to
+// ||ΨᵀΦᵀy||∞.
+func (d *Decoder) Reconstruct(y []float64) ([]float64, error) {
+	return d.reconstructWith(d.phis[0], y)
+}
+
+func (d *Decoder) reconstructWith(phi Matrix, y []float64) ([]float64, error) {
+	x, _, err := d.reconstructWarmWith(phi, y, nil, 0)
+	return x, err
+}
+
+// reconstructWarmWith is the shared single-lead entry point: it solves
+// for one lead, optionally seeded from (and saved back to) slot `lead`
+// of ws, and reports convergence stats.
+func (d *Decoder) reconstructWarmWith(phi Matrix, y []float64, ws *WarmState, lead int) ([]float64, SolveStats, error) {
+	var st SolveStats
+	if len(y) != d.m {
+		return nil, st, ErrSolver
+	}
+	s := d.pool.Get().(*solverScratch)
+	defer d.pool.Put(s)
+	warm := ws.seed(lead, d.n)
+	st.Warm = warm != nil
+	d.solveSingle(phi, y, s, warm, &st)
+	if warm != nil && d.divergedSingle(phi, s.theta, y, s) {
+		// The carried coefficients poisoned the solve (corrupted window,
+		// morphology jump): redo from a cold start. The extra iterations
+		// stay in st — they were really spent.
+		st.ColdFallback = true
+		st.Warm = false
+		d.solveSingle(phi, y, s, nil, &st)
+	}
+	ws.store(lead, s.theta)
 	out := make([]float64, d.n)
-	d.synthInto(theta, out, s)
-	return out, nil
+	d.synthInto(s.theta, out, s)
+	return out, st, nil
+}
+
+// ReconstructWarm is Reconstruct seeded from (and feeding) a WarmState:
+// consecutive ECG windows are highly correlated, so the previous
+// window's coefficients start the solver near the solution and the
+// Tol-driven early exit converts that proximity into skipped
+// iterations. Falls back to a cold start when the warm solve diverges.
+// ws may be nil (plain cold solve with stats).
+func (d *Decoder) ReconstructWarm(y []float64, ws *WarmState) ([]float64, SolveStats, error) {
+	if ws != nil {
+		ws.prepare(1, d.n)
+	}
+	x, st, err := d.reconstructWarmWith(d.phis[0], y, ws, 0)
+	if err != nil {
+		return nil, st, err
+	}
+	ws.commit()
+	return x, st, nil
 }
 
 // ReconstructLeads reconstructs each lead independently — the
@@ -290,6 +494,26 @@ func (d *Decoder) ReconstructLeads(ys [][]float64) ([][]float64, error) {
 	return out, nil
 }
 
+// ReconstructLeadsWarm is ReconstructLeads carrying one warm slot per
+// lead. Stats aggregate across leads. ws may be nil.
+func (d *Decoder) ReconstructLeadsWarm(ys [][]float64, ws *WarmState) ([][]float64, SolveStats, error) {
+	var st SolveStats
+	if ws != nil {
+		ws.prepare(len(ys), d.n)
+	}
+	out := make([][]float64, len(ys))
+	for i, y := range ys {
+		x, lst, err := d.reconstructWarmWith(d.matrixFor(i), y, ws, i)
+		if err != nil {
+			return nil, st, err
+		}
+		st.add(lst)
+		out[i] = x
+	}
+	ws.commit()
+	return out, st, nil
+}
+
 // ReconstructJoint solves the multi-lead problem of ref [6]: the leads
 // share sparsity structure, so the solver minimises
 //
@@ -303,13 +527,27 @@ func (d *Decoder) ReconstructLeads(ys [][]float64) ([][]float64, error) {
 // each lead's measurements are normalised to unit RMS for the solve and
 // rescaled afterwards.
 func (d *Decoder) ReconstructJoint(ys [][]float64) ([][]float64, error) {
+	out, _, err := d.reconstructJoint(ys, nil)
+	return out, err
+}
+
+// ReconstructJointWarm is ReconstructJoint seeded from (and feeding) a
+// WarmState. The carried coefficients live in the solver's unit-RMS
+// domain, so slowly drifting lead gains do not stale the seed. ws may
+// be nil (cold solve with stats).
+func (d *Decoder) ReconstructJointWarm(ys [][]float64, ws *WarmState) ([][]float64, SolveStats, error) {
+	return d.reconstructJoint(ys, ws)
+}
+
+func (d *Decoder) reconstructJoint(ys [][]float64, ws *WarmState) ([][]float64, SolveStats, error) {
+	var st SolveStats
 	L := len(ys)
 	if L == 0 {
-		return nil, ErrSolver
+		return nil, st, ErrSolver
 	}
 	for _, y := range ys {
 		if len(y) != d.m {
-			return nil, ErrSolver
+			return nil, st, ErrSolver
 		}
 	}
 	s := d.pool.Get().(*solverScratch)
@@ -352,24 +590,122 @@ func (d *Decoder) ReconstructJoint(ys [][]float64) ([][]float64, error) {
 		}
 	}
 	lambda := d.cfg.LambdaRel * math.Sqrt(groupMax)
+	if ws != nil {
+		ws.prepare(L, d.n)
+	}
+	warm := ws.seedAll(L, d.n)
+	st.Warm = warm != nil
+	d.solveJoint(ysn, L, lambda, s, warm, &st)
+	if warm != nil && d.divergedJoint(ysn, L, s) {
+		st.ColdFallback = true
+		st.Warm = false
+		d.solveJoint(ysn, L, lambda, s, nil, &st)
+	}
+	theta := s.jtheta[:L]
+	out := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		ws.store(l, theta[l])
+		out[l] = make([]float64, d.n)
+		d.synthInto(theta[l], out[l], s)
+		for i := range out[l] {
+			out[l][i] *= gains[l]
+		}
+	}
+	ws.commit()
+	return out, st, nil
+}
+
+// objectiveJoint evaluates the group-sparse objective
+// Σ_l ½‖Φ_l Ψθ_l − ysn_l‖² + λ Σ_j w_j rw_j ‖θ_{·j}‖₂ on the
+// normalised measurements. Clobbers s.x and s.ax.
+func (d *Decoder) objectiveJoint(ysn [][]float64, L int, lambda float64, s *solverScratch) float64 {
+	theta := s.jtheta[:L]
+	data := 0.0
+	for l := 0; l < L; l++ {
+		d.synthInto(theta[l], s.x, s)
+		d.matrixFor(l).Apply(s.x, s.ax)
+		for i, v := range s.ax {
+			r := v - ysn[l][i]
+			data += r * r
+		}
+	}
+	pen := 0.0
+	for j := 0; j < d.n; j++ {
+		w := d.weights[j] * s.rw[j]
+		if w == 0 {
+			continue
+		}
+		g := 0.0
+		for l := 0; l < L; l++ {
+			g += theta[l][j] * theta[l][j]
+		}
+		if g != 0 {
+			pen += w * math.Sqrt(g)
+		}
+	}
+	return 0.5*data + lambda*pen
+}
+
+// divergedJoint is divergedSingle for the joint iterate: the summed
+// data term must not exceed the energy of the (unit-RMS) measurements.
+func (d *Decoder) divergedJoint(ysn [][]float64, L int, s *solverScratch) bool {
+	theta := s.jtheta[:L]
+	num, den := 0.0, 0.0
+	for l := 0; l < L; l++ {
+		d.synthInto(theta[l], s.x, s)
+		d.matrixFor(l).Apply(s.x, s.ax)
+		for i, v := range s.ax {
+			r := v - ysn[l][i]
+			num += r * r
+		}
+		for _, v := range ysn[l] {
+			den += v * v
+		}
+	}
+	return !(num <= den)
+}
+
+// solveJoint runs the (re-weighted) group-sparse FISTA solve over the
+// normalised measurements, leaving the final coefficients in
+// s.jtheta[:L]. warm, when non-nil, holds one unit-RMS-domain seed per
+// lead. Bit-identical to the previous fixed-budget implementation when
+// cfg.Tol == 0 and warm == nil.
+func (d *Decoder) solveJoint(ysn [][]float64, L int, lambda float64, s *solverScratch, warm [][]float64, st *SolveStats) {
 	step := d.step
+	adaptive := d.cfg.Tol > 0
+	tol := d.cfg.Tol
 	theta := s.jtheta[:L]
 	prev := s.jprev[:L]
 	mom := s.jmom[:L]
 	grads := s.jgrad[:L]
 	rw := s.rw
+	norms := s.norms
 	for j := range rw {
 		rw[j] = 1
 	}
 	for pass := 0; pass <= d.cfg.Reweights; pass++ {
-		for l := 0; l < L; l++ {
-			for i := range theta[l] {
-				theta[l][i] = 0
-				prev[l][i] = 0
-				mom[l][i] = 0
+		switch {
+		case warm != nil && pass == 0:
+			for l := 0; l < L; l++ {
+				copy(theta[l], warm[l])
+				copy(mom[l], theta[l])
+			}
+		case warm != nil:
+			for l := 0; l < L; l++ {
+				copy(mom[l], theta[l])
+			}
+		default:
+			for l := 0; l < L; l++ {
+				for i := range theta[l] {
+					theta[l][i] = 0
+					prev[l][i] = 0
+					mom[l][i] = 0
+				}
 			}
 		}
 		tk := 1.0
+		lastObj := 0.0
+		objValid := false
 		for it := 0; it < d.cfg.Iters; it++ {
 			for l := 0; l < L; l++ {
 				d.gradInto(d.matrixFor(l), mom[l], ysn[l], grads[l], s)
@@ -401,6 +737,46 @@ func (d *Decoder) ReconstructJoint(ys [][]float64) ([][]float64, error) {
 					theta[l][j] *= shrink
 				}
 			}
+			if st != nil {
+				st.Iters++
+			}
+			restart := false
+			var diffSq, normSq float64
+			if adaptive {
+				dot := 0.0
+				for l := 0; l < L; l++ {
+					tl, pl, ml := theta[l], prev[l], mom[l]
+					for i := range tl {
+						dd := tl[i] - pl[i]
+						diffSq += dd * dd
+						normSq += tl[i] * tl[i]
+						dot += (ml[i] - tl[i]) * dd
+					}
+				}
+				if dot > 0 {
+					restart = true
+					if st != nil {
+						st.Restarts++
+					}
+				}
+			}
+			if adaptive && it+1 >= d.cfg.MinIters && diffSq <= tol*tol*(normSq+tinyNormSq) {
+				obj := d.objectiveJoint(ysn, L, lambda, s)
+				if objValid && obj >= lastObj*(1-tol) {
+					if st != nil {
+						st.EarlyExit = true
+					}
+					break
+				}
+				lastObj, objValid = obj, true
+			}
+			if restart {
+				tk = 1
+				for l := 0; l < L; l++ {
+					copy(mom[l], theta[l])
+				}
+				continue
+			}
 			tNext := (1 + math.Sqrt(1+4*tk*tk)) / 2
 			beta := (tk - 1) / tNext
 			for l := 0; l < L; l++ {
@@ -430,13 +806,4 @@ func (d *Decoder) ReconstructJoint(ys [][]float64) ([][]float64, error) {
 			rw[j] = eps / (norms[j] + eps)
 		}
 	}
-	out := make([][]float64, L)
-	for l := 0; l < L; l++ {
-		out[l] = make([]float64, d.n)
-		d.synthInto(theta[l], out[l], s)
-		for i := range out[l] {
-			out[l][i] *= gains[l]
-		}
-	}
-	return out, nil
 }

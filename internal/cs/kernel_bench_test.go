@@ -1,0 +1,62 @@
+package cs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkApplyTCSR pairs the row-major CSR kernels against the
+// column-major reference at the paper's single-lead operating point
+// (512-sample window, CR 65.9, d = 4). ApplyT runs twice per FISTA
+// iteration — it is the innermost loop of the whole gateway — so this
+// pair is the evidence for the kernel-layout choice.
+func BenchmarkApplyTCSR(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	m := MeasurementsForCR(512, 65.9)
+	sb, err := NewSparseBinary(m, 512, 4, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := make([]float64, m)
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	z := make([]float64, 512)
+	b.Run("csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sb.ApplyT(r, z)
+		}
+	})
+	b.Run("colmajor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sb.applyTColMajor(r, z)
+		}
+	})
+}
+
+// BenchmarkApplyCSR is the forward-kernel companion pair: the CSR
+// Apply reduces each row into a register with one sequential store,
+// the column-major reference scatter-adds with a zeroing prologue.
+func BenchmarkApplyCSR(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	m := MeasurementsForCR(512, 65.9)
+	sb, err := NewSparseBinary(m, 512, 4, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 512)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, m)
+	b.Run("csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sb.Apply(x, y)
+		}
+	})
+	b.Run("colmajor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sb.applyColMajor(x, y)
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Errors returned by matrix constructors and the encoder.
@@ -48,11 +49,23 @@ type SparseBinary struct {
 	m, n int
 	d    int
 	// idx is the flattened column index list: idx[c*d : (c+1)*d] holds
-	// the d row indices of column c. One contiguous allocation instead of
-	// n small slices keeps Apply/ApplyT — the innermost kernels of every
-	// FISTA iteration — walking a single cache-friendly array.
-	idx   []int32
-	scale float64
+	// the d row indices of column c, sorted ascending. One contiguous
+	// allocation instead of n small slices keeps the kernels walking a
+	// single cache-friendly array; the ascending order makes the
+	// column-major and row-major traversals accumulate each output in
+	// the same order, so both kernel layouts are bit-identical.
+	idx []int32
+	// rowPtr/rowCols are the row-major CSR companion of idx: row i's
+	// column indices are rowCols[rowPtr[i]:rowPtr[i+1]], ascending.
+	// Apply/ApplyT — the innermost kernels of every FISTA iteration,
+	// executed twice per iteration — walk these contiguous per-row entry
+	// lists: Apply reduces each row into a register and stores y
+	// sequentially (no output zeroing, no read-modify-write), and ApplyT
+	// loads each residual element exactly once per row instead of d
+	// scattered gathers per column.
+	rowPtr  []int32
+	rowCols []int32
+	scale   float64
 }
 
 // NewSparseBinary builds an m×n sparse-binary sensing matrix with d
@@ -76,8 +89,37 @@ func NewSparseBinary(m, n, d int, rng *rand.Rand) (*SparseBinary, error) {
 			perm[i], perm[j] = perm[j], perm[i]
 			sb.idx[c*d+i] = int32(perm[i])
 		}
+		// Ascending row order per column: the canonical accumulation
+		// order shared by the column-major and CSR traversals.
+		col := sb.idx[c*d : (c+1)*d]
+		sort.Slice(col, func(a, b int) bool { return col[a] < col[b] })
 	}
+	sb.buildCSR()
 	return sb, nil
+}
+
+// buildCSR derives the row-major companion index from the column list
+// with a counting pass (no sort): rowPtr[i] is the offset of row i's
+// column list in rowCols. Because the column loop visits c ascending,
+// each row's columns land in rowCols already sorted.
+func (s *SparseBinary) buildCSR() {
+	s.rowPtr = make([]int32, s.m+1)
+	s.rowCols = make([]int32, len(s.idx))
+	for _, r := range s.idx {
+		s.rowPtr[r+1]++
+	}
+	for i := 0; i < s.m; i++ {
+		s.rowPtr[i+1] += s.rowPtr[i]
+	}
+	next := make([]int32, s.m)
+	copy(next, s.rowPtr[:s.m])
+	d := s.d
+	for c := 0; c < s.n; c++ {
+		for _, r := range s.idx[c*d : (c+1)*d] {
+			s.rowCols[next[r]] = int32(c)
+			next[r]++
+		}
+	}
 }
 
 // col returns the row indices of column c.
@@ -92,8 +134,51 @@ func (s *SparseBinary) Cols() int { return s.n }
 // Density returns d, the non-zeros per column.
 func (s *SparseBinary) Density() int { return s.d }
 
-// Apply computes y = Φx.
+// Apply computes y = Φx by walking the CSR companion: each measurement
+// reduces its contiguous column list into a register and stores once —
+// no output zeroing and no scattered read-modify-write. Bit-identical
+// to the column-major traversal (each y[i] sums its columns ascending
+// either way).
 func (s *SparseBinary) Apply(x, y []float64) {
+	rowPtr, rowCols := s.rowPtr, s.rowCols
+	scale := s.scale
+	for i := range y[:s.m] {
+		acc := 0.0
+		for _, c := range rowCols[rowPtr[i]:rowPtr[i+1]] {
+			acc += x[c]
+		}
+		y[i] = acc * scale
+	}
+}
+
+// ApplyT computes z = Φᵀr over the CSR companion: the residual element
+// r[i] is loaded once per row and added into its contiguous column
+// list. Because every column's row indices are stored ascending, the
+// per-z[c] accumulation order matches the column-major traversal
+// exactly, so the kernels agree bit for bit (TestApplyCSRMatchesColumnMajor).
+func (s *SparseBinary) ApplyT(r, z []float64) {
+	for c := range z[:s.n] {
+		z[c] = 0
+	}
+	rowPtr, rowCols := s.rowPtr, s.rowCols
+	for i := 0; i < s.m; i++ {
+		ri := r[i]
+		if ri == 0 {
+			continue
+		}
+		for _, c := range rowCols[rowPtr[i]:rowPtr[i+1]] {
+			z[c] += ri
+		}
+	}
+	scale := s.scale
+	for c := range z[:s.n] {
+		z[c] *= scale
+	}
+}
+
+// applyColMajor is the pre-CSR column-major y = Φx kernel, kept as the
+// bit-identity reference for tests and the ApplyTCSR benchmark pair.
+func (s *SparseBinary) applyColMajor(x, y []float64) {
 	for i := range y {
 		y[i] = 0
 	}
@@ -111,8 +196,10 @@ func (s *SparseBinary) Apply(x, y []float64) {
 	}
 }
 
-// ApplyT computes z = Φᵀr.
-func (s *SparseBinary) ApplyT(r, z []float64) {
+// applyTColMajor is the pre-CSR column-major z = Φᵀr kernel: every
+// column gathers its d residual entries (scattered loads). Kept as the
+// bit-identity reference for tests and the ApplyTCSR benchmark pair.
+func (s *SparseBinary) applyTColMajor(r, z []float64) {
 	d := s.d
 	for c := 0; c < s.n; c++ {
 		acc := 0.0

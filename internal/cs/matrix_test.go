@@ -185,6 +185,91 @@ func TestMeasurementsForCR(t *testing.T) {
 	}
 }
 
+// TestApplyCSRMatchesColumnMajor pins the kernel-layout contract: the
+// row-major CSR traversal used by Apply/ApplyT must agree bit for bit
+// with the column-major reference, because each output element
+// accumulates its entries in the same ascending order either way
+// (columns store their rows sorted; rows store their columns sorted).
+// Gateway digests therefore do not depend on which layout decodes.
+func TestApplyCSRMatchesColumnMajor(t *testing.T) {
+	for _, dims := range []struct{ m, n, d int }{
+		{175, 512, 4}, {64, 256, 2}, {40, 96, 7},
+	} {
+		rng := rand.New(rand.NewSource(int64(dims.m)))
+		sb, err := NewSparseBinary(dims.m, dims.n, dims.d, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, dims.n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		x[0], x[1] = 0, math.Copysign(0, -1) // exercise the zero-skip paths
+		yCSR := make([]float64, dims.m)
+		yCol := make([]float64, dims.m)
+		sb.Apply(x, yCSR)
+		sb.applyColMajor(x, yCol)
+		for i := range yCSR {
+			if yCSR[i] != yCol[i] {
+				t.Fatalf("m=%d: Apply CSR y[%d]=%g, column-major %g", dims.m, i, yCSR[i], yCol[i])
+			}
+		}
+		r := make([]float64, dims.m)
+		for i := range r {
+			r[i] = rng.NormFloat64()
+		}
+		r[0] = 0
+		zCSR := make([]float64, dims.n)
+		zCol := make([]float64, dims.n)
+		sb.ApplyT(r, zCSR)
+		sb.applyTColMajor(r, zCol)
+		for c := range zCSR {
+			if zCSR[c] != zCol[c] {
+				t.Fatalf("m=%d: ApplyT CSR z[%d]=%g, column-major %g", dims.m, c, zCSR[c], zCol[c])
+			}
+		}
+	}
+}
+
+// TestSparseBinaryCSRStructure checks the companion index is a
+// permutation-consistent view of the column list: every (row, col)
+// entry appears in both, rows partition the nonzeros, and per-row
+// column lists are sorted.
+func TestSparseBinaryCSRStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m, n, d := 48, 128, 5
+	sb, err := NewSparseBinary(m, n, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int(sb.rowPtr[m]), n*d; got != want {
+		t.Fatalf("rowPtr[m] = %d, want %d nonzeros", got, want)
+	}
+	count := 0
+	for i := 0; i < m; i++ {
+		cols := sb.rowCols[sb.rowPtr[i]:sb.rowPtr[i+1]]
+		for j, c := range cols {
+			if j > 0 && cols[j-1] >= c {
+				t.Fatalf("row %d columns not strictly ascending", i)
+			}
+			found := false
+			for _, r := range sb.col(int(c)) {
+				if int(r) == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("CSR entry (%d,%d) missing from column list", i, c)
+			}
+			count++
+		}
+	}
+	if count != n*d {
+		t.Fatalf("CSR holds %d entries, want %d", count, n*d)
+	}
+}
+
 func TestSparseBinaryDeterministic(t *testing.T) {
 	a, _ := NewSparseBinary(32, 64, 4, rand.New(rand.NewSource(9)))
 	b, _ := NewSparseBinary(32, 64, 4, rand.New(rand.NewSource(9)))

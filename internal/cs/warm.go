@@ -1,0 +1,109 @@
+package cs
+
+// WarmState carries wavelet coefficients across consecutive windows of
+// one stream so the solver starts near the solution instead of at zero.
+// Adjacent ECG windows are strongly correlated (same morphology, same
+// support), which is exactly the regime where a warm-started FISTA plus
+// the Tol early exit trades almost no accuracy for most of the
+// iteration budget.
+//
+// Ownership: one WarmState per stream (per patient, per receiver) —
+// never share one across streams, or patient A's coefficients seed
+// patient B's windows. The state is NOT safe for concurrent use; the
+// single stream it belongs to must decode its windows in order. All
+// methods are nil-receiver safe, so call sites can thread an optional
+// *WarmState without branching: nil means "always cold".
+//
+// For the joint solver the stored coefficients live in the solver's
+// unit-RMS-normalised domain, so slow lead-gain drift does not stale
+// the seed.
+type WarmState struct {
+	theta [][]float64 // one coefficient vector per lead
+	n     int         // coefficient length the state was shaped for
+	valid bool        // a complete solve has populated theta
+}
+
+// NewWarmState returns an empty (cold) warm state.
+func NewWarmState() *WarmState { return &WarmState{} }
+
+// Reset invalidates the carried coefficients: the next solve runs cold.
+// Call on stream boundaries (patient switch, rig reuse) and on sequence
+// gaps (a lost window means the carried θ no longer describes the
+// previous window).
+func (w *WarmState) Reset() {
+	if w == nil {
+		return
+	}
+	w.valid = false
+}
+
+// Valid reports whether the state holds coefficients from a completed
+// solve.
+func (w *WarmState) Valid() bool { return w != nil && w.valid }
+
+// Leads returns the number of per-lead slots currently allocated.
+func (w *WarmState) Leads() int {
+	if w == nil {
+		return 0
+	}
+	return len(w.theta)
+}
+
+// prepare shapes the state for L leads of n coefficients. A shape
+// change invalidates any carried coefficients (they describe a
+// different problem). Slot storage is reused across windows, so the
+// steady state allocates nothing.
+func (w *WarmState) prepare(L, n int) {
+	if w == nil {
+		return
+	}
+	if w.n != n || len(w.theta) != L {
+		w.valid = false
+	}
+	if w.n != n {
+		w.theta = w.theta[:0]
+		w.n = n
+	}
+	for len(w.theta) < L {
+		w.theta = append(w.theta, make([]float64, n))
+	}
+	if len(w.theta) > L {
+		w.theta = w.theta[:L]
+	}
+}
+
+// seed returns lead's carried coefficients, or nil when the state is
+// nil, invalid, or shaped differently — i.e. nil means "solve cold".
+func (w *WarmState) seed(lead, n int) []float64 {
+	if w == nil || !w.valid || w.n != n || lead >= len(w.theta) {
+		return nil
+	}
+	return w.theta[lead]
+}
+
+// seedAll returns all L per-lead seeds, or nil if any lead is cold.
+func (w *WarmState) seedAll(L, n int) [][]float64 {
+	if w == nil || !w.valid || w.n != n || len(w.theta) != L {
+		return nil
+	}
+	return w.theta
+}
+
+// store copies a finished solve's coefficients into lead's slot. The
+// state only becomes a usable seed once commit marks the window
+// complete, so a partial multi-lead failure cannot leave a half-updated
+// valid state.
+func (w *WarmState) store(lead int, theta []float64) {
+	if w == nil || lead >= len(w.theta) {
+		return
+	}
+	copy(w.theta[lead], theta)
+}
+
+// commit marks the stored coefficients as a complete window.
+func (w *WarmState) commit() {
+	if w == nil || len(w.theta) == 0 {
+		return
+	}
+	w.valid = true
+}

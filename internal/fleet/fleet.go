@@ -72,6 +72,18 @@ type Config struct {
 	// SolverIters overrides the gateway's FISTA iteration budget
 	// (0 keeps the gateway default of 150).
 	SolverIters int
+	// SolverTol enables the convergence-aware solver: reconstructions
+	// stop once the iterate stabilises instead of spending the full
+	// budget (0 keeps the fixed-budget solver, bit-identical to earlier
+	// revisions).
+	SolverTol float64
+	// WarmStart carries each patient's wavelet coefficients from window
+	// to window through the pooled rigs. The warm cache is per receiver
+	// (one stream per shard at a time) and is cleared on every patient
+	// boundary by the rig Reset, so coefficients never leak between
+	// patients; digests remain shard-count invariant because each
+	// patient's window sequence decodes in order either way.
+	WarmStart bool
 	// EngineWorkers sizes the shared reconstruction pool (default
 	// GOMAXPROCS). Negative disables the engine: receivers decode
 	// inline on their shard.
@@ -203,6 +215,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if c.SolverIters > 0 {
 			e.gcfg.Solver.Iters = c.SolverIters
 		}
+		e.gcfg.Solver.Tol = c.SolverTol
+		e.gcfg.WarmStart = c.WarmStart
 		if c.EngineWorkers >= 0 {
 			ecfg := gateway.EngineConfig{Workers: c.EngineWorkers}
 			if c.Telemetry != nil {
@@ -247,6 +261,10 @@ func (e *Engine) newRig() (*rig, error) {
 			if err := rx.AttachEngine(e.pool); err != nil {
 				return nil, err
 			}
+		} else if tel := e.cfg.Telemetry; tel != nil {
+			// Inline decoding on the shard: convergence stats flow through
+			// the receiver (the engine path records via pool metrics).
+			rx.SetTelemetry(tel.Solver)
 		}
 		r.rx = rx
 	}

@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"testing"
+
+	"wbsn/internal/telemetry"
+)
+
+// warmCfg is fastCfg with the convergence-aware warm-started solver on.
+func warmCfg(patients, shards int) Config {
+	cfg := fastCfg(patients, shards)
+	cfg.SolverTol = 1e-3
+	cfg.WarmStart = true
+	return cfg
+}
+
+// TestFleetWarmShardInvariance extends the bit-identity guarantee to
+// the warm-started solver: each patient's windows decode in order on
+// whichever shard owns the patient, and the rig Reset drops the warm
+// cache at every patient boundary, so digests must not depend on the
+// shard count. A stale θ crossing patients inside a shared rig would
+// shift every later solve on that shard and break this comparison.
+func TestFleetWarmShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	serial := runFleet(t, warmCfg(5, 1))
+	cold := runFleet(t, fastCfg(5, 1))
+	warmChanged := false
+	for p := range serial.Patients {
+		if serial.Patients[p].Digest != cold.Patients[p].Digest {
+			warmChanged = true
+			break
+		}
+	}
+	if !warmChanged {
+		t.Fatal("warm+tol run matches the cold run bit for bit — the adaptive solver never engaged")
+	}
+	for _, shards := range []int{2, 5} {
+		res := runFleet(t, warmCfg(5, shards))
+		for p := range serial.Patients {
+			if res.Patients[p].Digest != serial.Patients[p].Digest {
+				t.Errorf("shards=%d patient %d: warm digest %#x != serial %#x",
+					shards, p, res.Patients[p].Digest, serial.Patients[p].Digest)
+			}
+		}
+	}
+}
+
+// TestFleetWarmRigReuse replays one warm population twice through one
+// Engine: reused rigs must reproduce the first run's digests exactly,
+// proving the Reset between patients (and between runs) clears the
+// warm cache.
+func TestFleetWarmRigReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	e, err := NewEngine(warmCfg(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	first, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range first.Patients {
+		if first.Patients[p].Digest != second.Patients[p].Digest {
+			t.Errorf("patient %d: warm rig reuse changed the digest", p)
+		}
+	}
+}
+
+// TestFleetWarmTelemetry asserts the early-exit path actually fires
+// under fleet load and that the iterations histogram is non-degenerate:
+// solves observed, warm seeds used, and the median iteration count
+// strictly below the configured budget.
+func TestFleetWarmTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	set := telemetry.NewSet(telemetry.NewRegistry())
+	cfg := warmCfg(3, 2)
+	// Give the convergence test headroom: with the tight 30-iteration
+	// test budget most passes exhaust the budget before the tolerance is
+	// met, which would make this smoke vacuous.
+	cfg.SolverIters = 100
+	cfg.Telemetry = set
+	runFleet(t, cfg)
+
+	sm := set.Solver
+	if sm.Solves.Value() == 0 {
+		t.Fatal("no solves recorded")
+	}
+	if sm.WarmSolves.Value() == 0 {
+		t.Error("no warm solves recorded across contiguous windows")
+	}
+	if sm.EarlyExits.Value() == 0 {
+		t.Error("early exit never fired — the convergence criterion is dead under fleet load")
+	}
+	if sm.Iters.Count() != sm.Solves.Value() {
+		t.Errorf("iters histogram observations %d != solves %d", sm.Iters.Count(), sm.Solves.Value())
+	}
+	snap := sm.Iters.Snapshot()
+	budget := uint64(100 * 2) // SolverIters × (1 + default reweight pass)
+	if snap.P50 >= budget {
+		t.Errorf("median iterations %d did not beat the %d budget", snap.P50, budget)
+	}
+	if snap.Min == snap.Max {
+		t.Errorf("iterations histogram degenerate: every solve took %d iterations", snap.Min)
+	}
+}

@@ -56,6 +56,12 @@ type Job struct {
 	err          error
 	seq          uint64
 	done         chan struct{}
+	// ws, when non-nil, warm-starts the solve from (and feeds back into)
+	// the submitting stream's carried coefficients. The caller must not
+	// have another job with the same ws in flight — warm windows of one
+	// stream are sequential by construction.
+	ws    *cs.WarmState
+	stats cs.SolveStats
 }
 
 // Wait blocks until the job is decoded and returns the reconstructed
@@ -63,6 +69,12 @@ type Job struct {
 func (j *Job) Wait() ([][]float64, error) {
 	<-j.done
 	return j.leads, j.err
+}
+
+// Stats returns the solve's convergence counters; valid after Wait.
+func (j *Job) Stats() cs.SolveStats {
+	<-j.done
+	return j.stats
 }
 
 // Engine fans CS windows across a pool of workers, each holding its own
@@ -122,10 +134,13 @@ func (e *Engine) worker(dec *cs.Decoder) {
 			tm.BusyWorkers.Add(1)
 			t0 = time.Now()
 		}
+		// The warm variants with a nil WarmState run the identical cold
+		// compute, so routing every job through them changes nothing for
+		// plain submissions while giving warm jobs and telemetry one path.
 		if e.cfg.DisableJoint {
-			j.leads, j.err = dec.ReconstructLeads(j.measurements)
+			j.leads, j.stats, j.err = dec.ReconstructLeadsWarm(j.measurements, j.ws)
 		} else {
-			j.leads, j.err = dec.ReconstructJoint(j.measurements)
+			j.leads, j.stats, j.err = dec.ReconstructJointWarm(j.measurements, j.ws)
 		}
 		if tm != nil {
 			dur := time.Since(t0)
@@ -136,6 +151,8 @@ func (e *Engine) worker(dec *cs.Decoder) {
 				tm.DecodeErrors.Inc()
 			} else {
 				tm.Decoded.Inc()
+				st := j.stats
+				tm.Solver.Record(st.Iters, st.Restarts, st.EarlyExit, st.Warm, st.ColdFallback)
 			}
 		}
 		close(j.done)
@@ -146,6 +163,15 @@ func (e *Engine) worker(dec *cs.Decoder) {
 // It validates the packet shape first, blocks while the queue is full,
 // and returns ErrGateway after Close.
 func (e *Engine) Submit(measurements [][]float64) (*Job, error) {
+	return e.SubmitWarm(measurements, nil)
+}
+
+// SubmitWarm is Submit with a stream's warm state attached to the job.
+// The caller owns the sequencing contract: at most one in-flight job
+// per WarmState, and windows of that stream submitted in order (decode
+// each window before submitting the next — DecodeWarm does exactly
+// that).
+func (e *Engine) SubmitWarm(measurements [][]float64, ws *cs.WarmState) (*Job, error) {
 	if len(measurements) != e.cfg.Leads {
 		return nil, ErrGateway
 	}
@@ -154,7 +180,7 @@ func (e *Engine) Submit(measurements [][]float64) (*Job, error) {
 			return nil, ErrGateway
 		}
 	}
-	j := &Job{measurements: measurements, seq: e.seq.Add(1) - 1, done: make(chan struct{})}
+	j := &Job{measurements: measurements, seq: e.seq.Add(1) - 1, done: make(chan struct{}), ws: ws}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
@@ -179,6 +205,17 @@ func (e *Engine) Decode(measurements [][]float64) ([][]float64, error) {
 		return nil, err
 	}
 	return j.Wait()
+}
+
+// DecodeWarm reconstructs one window synchronously with the stream's
+// warm state, returning the convergence stats alongside the leads.
+func (e *Engine) DecodeWarm(measurements [][]float64, ws *cs.WarmState) ([][]float64, cs.SolveStats, error) {
+	j, err := e.SubmitWarm(measurements, ws)
+	if err != nil {
+		return nil, cs.SolveStats{}, err
+	}
+	leads, err := j.Wait()
+	return leads, j.stats, err
 }
 
 // DecodeWindows reconstructs a batch of windows and returns the results

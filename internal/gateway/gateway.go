@@ -19,6 +19,7 @@ import (
 	"wbsn/internal/cs"
 	"wbsn/internal/delineation"
 	"wbsn/internal/dsp"
+	"wbsn/internal/telemetry"
 )
 
 // ErrGateway is returned for configuration or packet-consistency errors.
@@ -38,8 +39,18 @@ type Config struct {
 	Seed      int64
 	// Joint selects multi-lead joint reconstruction (default true).
 	DisableJoint bool
+	// WarmStart carries each window's wavelet coefficients into the next
+	// window's solve (per-lead, per-receiver). Combined with Solver.Tol
+	// it converts inter-window correlation into skipped iterations; the
+	// warm state is dropped on Reset and on lost windows so a stale seed
+	// never crosses a stream boundary or an ARQ gap. Off by default —
+	// the cold fixed-budget path stays bit-identical to earlier
+	// revisions.
+	WarmStart bool
 	// Solver tunes the reconstruction (defaults: 150 iterations, 1
 	// reweighting pass — the real-time receiver budget of ref [5]).
+	// Setting Solver.Tol > 0 additionally enables the convergence-aware
+	// early exit and adaptive restart inside the solver.
 	Solver cs.SolverConfig
 }
 
@@ -116,6 +127,13 @@ type Receiver struct {
 	// engine, when attached, decodes windows on a worker pool instead
 	// of inline; results are appended in packet order either way.
 	engine *Engine
+	// ws carries the previous window's coefficients when WarmStart is
+	// on; nil otherwise. One receiver = one stream, so the state never
+	// mixes patients.
+	ws *cs.WarmState
+	// tel, when set, receives convergence stats from the inline decode
+	// path (the engine path records through the engine's own metrics).
+	tel *telemetry.SolverMetrics
 }
 
 // NewReceiver builds the receiver; the sensing matrix is regenerated
@@ -131,8 +149,33 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 		return nil, err
 	}
 	r := &Receiver{cfg: c, dec: dec, m: m, del: del}
+	if c.WarmStart {
+		r.ws = cs.NewWarmState()
+	}
 	r.signal = make([][]float64, c.Leads)
 	return r, nil
+}
+
+// SetTelemetry routes convergence stats from the inline decode path to
+// the given solver metrics (nil detaches). With an engine attached the
+// engine's own metrics receive the stats instead.
+func (r *Receiver) SetTelemetry(sm *telemetry.SolverMetrics) { r.tel = sm }
+
+// resetWarm invalidates the carried coefficients (stream boundary or
+// lost window) and counts the reset in whichever metrics sink is
+// active: the engine's when one is attached, else the receiver's.
+func (r *Receiver) resetWarm() {
+	if r.ws == nil {
+		return
+	}
+	r.ws.Reset()
+	if r.engine != nil {
+		if tm := r.engine.tel; tm != nil {
+			tm.Solver.RecordReset()
+			return
+		}
+	}
+	r.tel.RecordReset()
 }
 
 // MeasurementLen returns the per-lead measurement count the receiver
@@ -153,21 +196,37 @@ func (r *Receiver) ConsumePacket(measurements [][]float64) error {
 			return ErrGateway
 		}
 	}
-	var xs [][]float64
-	var err error
-	switch {
-	case r.engine != nil:
-		xs, err = r.engine.Decode(measurements)
-	case r.cfg.DisableJoint:
-		xs, err = r.dec.ReconstructLeads(measurements)
-	default:
-		xs, err = r.dec.ReconstructJoint(measurements)
-	}
+	xs, err := r.decodeOne(measurements)
 	if err != nil {
 		return err
 	}
 	r.appendWindow(xs)
 	return nil
+}
+
+// decodeOne reconstructs a single window through whichever path is
+// active, threading the warm state and recording convergence stats.
+func (r *Receiver) decodeOne(measurements [][]float64) ([][]float64, error) {
+	if r.engine != nil {
+		if r.ws != nil {
+			xs, _, err := r.engine.DecodeWarm(measurements, r.ws)
+			return xs, err
+		}
+		return r.engine.Decode(measurements)
+	}
+	var xs [][]float64
+	var st cs.SolveStats
+	var err error
+	if r.cfg.DisableJoint {
+		xs, st, err = r.dec.ReconstructLeadsWarm(measurements, r.ws)
+	} else {
+		xs, st, err = r.dec.ReconstructJointWarm(measurements, r.ws)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.tel.Record(st.Iters, st.Restarts, st.EarlyExit, st.Warm, st.ColdFallback)
+	return xs, nil
 }
 
 func (r *Receiver) appendWindow(xs [][]float64) {
@@ -192,12 +251,15 @@ func (r *Receiver) AttachEngine(e *Engine) error {
 	return nil
 }
 
-// Reset discards the accumulated signal while keeping the decoder (and
-// any attached engine), so one receiver can replay many records.
+// Reset discards the accumulated signal and any carried warm-start
+// coefficients while keeping the decoder (and any attached engine), so
+// one receiver can replay many records without one record's solver
+// state leaking into the next.
 func (r *Receiver) Reset() {
 	for li := range r.signal {
 		r.signal[li] = r.signal[li][:0]
 	}
+	r.resetWarm()
 }
 
 // ConsumeEvents feeds every CS packet among the node's stream events to
@@ -227,6 +289,20 @@ func (r *Receiver) ConsumeEvents(events []core.Event) error {
 					return ErrGateway
 				}
 			}
+		}
+		if r.ws != nil {
+			// Warm decoding is inherently sequential within one stream —
+			// each window seeds the next — so the batch walks the engine
+			// one window at a time. Cross-stream parallelism (other
+			// receivers sharing this engine) is unaffected.
+			for _, w := range windows {
+				xs, _, err := r.engine.DecodeWarm(w, r.ws)
+				if err != nil {
+					return err
+				}
+				r.appendWindow(xs)
+			}
+			return nil
 		}
 		decoded, err := r.engine.DecodeWindows(windows)
 		if err != nil {
@@ -271,10 +347,13 @@ func (r *Receiver) Delineate() ([]delineation.BeatFiducials, error) {
 
 // ConsumeLostPacket records a window the radio failed to deliver: the
 // reconstructed signal is padded with zeros so downstream indices stay
-// aligned. Remote analysis degrades gracefully — beats inside the lost
-// window are missed, neighbours are unaffected.
+// aligned, and any warm-start coefficients are dropped — the carried θ
+// described the window before the gap, so seeding the post-gap window
+// with it would poison the solve. Remote analysis degrades gracefully —
+// beats inside the lost window are missed, neighbours are unaffected.
 func (r *Receiver) ConsumeLostPacket() {
 	for li := range r.signal {
 		r.signal[li] = append(r.signal[li], make([]float64, r.cfg.CSWindow)...)
 	}
+	r.resetWarm()
 }

@@ -129,7 +129,10 @@ type GatewayMetrics struct {
 	BusyWorkers *Gauge
 	Workers     *Gauge
 	DecodeNs    *Histogram
-	Stages      *StageSet
+	// Solver tracks the convergence behaviour of the decodes this
+	// gateway runs (solver.*).
+	Solver *SolverMetrics
+	Stages *StageSet
 }
 
 // NewGatewayMetrics registers the gateway metric family (gateway.*).
@@ -142,8 +145,77 @@ func NewGatewayMetrics(reg *Registry, stages *StageSet) *GatewayMetrics {
 		BusyWorkers:  reg.Gauge("gateway.workers.busy"),
 		Workers:      reg.Gauge("gateway.workers.total"),
 		DecodeNs:     reg.Histogram("gateway.decode.ns"),
+		Solver:       NewSolverMetrics(reg),
 		Stages:       stages,
 	}
+}
+
+// SolverMetrics instruments the convergence-aware FISTA path: how many
+// iterations reconstructions actually spend, how often the early exit
+// and adaptive restarts fire, and how often a warm seed is used,
+// dropped (reset) or rejected (cold fallback). Counters take plain
+// scalars so this package stays dependency-free.
+type SolverMetrics struct {
+	// Solves counts reconstructions; WarmSolves the subset seeded from a
+	// previous window; EarlyExits those that stopped before the
+	// iteration budget; Restarts the adaptive momentum restarts summed
+	// over all solves; ColdFallbacks warm solves that diverged and were
+	// redone cold; WarmResets explicit warm-state invalidations (stream
+	// reset or sequence gap).
+	Solves        *Counter
+	WarmSolves    *Counter
+	EarlyExits    *Counter
+	Restarts      *Counter
+	ColdFallbacks *Counter
+	WarmResets    *Counter
+	// Iters is the iterations-to-converge distribution, one observation
+	// per reconstruction.
+	Iters *Histogram
+}
+
+// NewSolverMetrics registers the solver metric family (solver.*).
+func NewSolverMetrics(reg *Registry) *SolverMetrics {
+	return &SolverMetrics{
+		Solves:        reg.Counter("solver.solves"),
+		WarmSolves:    reg.Counter("solver.warm_solves"),
+		EarlyExits:    reg.Counter("solver.early_exits"),
+		Restarts:      reg.Counter("solver.restarts"),
+		ColdFallbacks: reg.Counter("solver.cold_fallbacks"),
+		WarmResets:    reg.Counter("solver.warm_resets"),
+		Iters:         reg.Histogram("solver.iters"),
+	}
+}
+
+// Record observes one reconstruction's convergence stats. Nil-safe and
+// allocation-free.
+func (s *SolverMetrics) Record(iters, restarts int, earlyExit, warm, coldFallback bool) {
+	if s == nil {
+		return
+	}
+	s.Solves.Inc()
+	if iters >= 0 {
+		s.Iters.Observe(uint64(iters))
+	}
+	if restarts > 0 {
+		s.Restarts.Add(uint64(restarts))
+	}
+	if earlyExit {
+		s.EarlyExits.Inc()
+	}
+	if warm {
+		s.WarmSolves.Inc()
+	}
+	if coldFallback {
+		s.ColdFallbacks.Inc()
+	}
+}
+
+// RecordReset counts one warm-state invalidation. Nil-safe.
+func (s *SolverMetrics) RecordReset() {
+	if s == nil {
+		return
+	}
+	s.WarmResets.Inc()
 }
 
 // FleetMetrics instruments fleet.Engine: population rollups plus lazy
@@ -320,7 +392,10 @@ type Set struct {
 	Node     *NodeMetrics
 	Link     *LinkMetrics
 	Gateway  *GatewayMetrics
-	Fleet    *FleetMetrics
+	// Solver aliases Gateway.Solver — the convergence family lives with
+	// the decoding side.
+	Solver *SolverMetrics
+	Fleet  *FleetMetrics
 }
 
 // traceRingSpans sizes the Set's trace ring.
@@ -332,13 +407,15 @@ func NewSet(reg *Registry) *Set {
 	tracer := NewTracer(traceRingSpans)
 	reg.AttachTracer(tracer)
 	stages := NewStageSet(reg, tracer)
+	gw := NewGatewayMetrics(reg, stages)
 	return &Set{
 		Registry: reg,
 		Tracer:   tracer,
 		Stages:   stages,
 		Node:     NewNodeMetrics(reg, stages),
 		Link:     NewLinkMetrics(reg, stages),
-		Gateway:  NewGatewayMetrics(reg, stages),
+		Gateway:  gw,
+		Solver:   gw.Solver,
 		Fleet:    NewFleetMetrics(reg),
 	}
 }

@@ -2,8 +2,11 @@
 # Telemetry endpoint smoke test: start `wbsn-sim -fleet -telemetry` on
 # an ephemeral port, scrape /metrics while the sweep runs, and verify
 # the JSON carries real traffic on every pipeline layer (stage latency
-# histograms, ARQ counters, gateway queue gauge, radio energy). Fails
-# non-zero if the endpoint never comes up or never populates.
+# histograms, ARQ counters, gateway queue gauge, radio energy, and —
+# with -solver-tol armed — the adaptive-solver counters: solves, warm
+# seeds, early exits, momentum restarts, warm resets at patient
+# boundaries, and the iteration histogram). Fails non-zero if the
+# endpoint never comes up or never populates.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,7 +23,7 @@ go build -o "$WORK/telemetrycheck" ./scripts/telemetrycheck
 
 # Linger keeps the endpoint alive after the sweep so a slow scraper
 # still sees the fully-populated registry.
-"$WORK/wbsn-sim" -fleet -telemetry 127.0.0.1:0 -telemetry-linger 120s \
+"$WORK/wbsn-sim" -fleet -solver-tol 1e-3 -telemetry 127.0.0.1:0 -telemetry-linger 120s \
 	>"$WORK/stdout.log" 2>"$WORK/stderr.log" &
 SIM_PID=$!
 
@@ -51,7 +54,13 @@ while [ $i -lt 300 ]; do
 		gateway.queue.depth \
 		gateway.decode.ns \
 		link.radio.energy_j \
-		fleet.patients.done 2>"$WORK/check.log"; then
+		fleet.patients.done \
+		solver.solves \
+		solver.warm_solves \
+		solver.early_exits \
+		solver.restarts \
+		solver.warm_resets \
+		solver.iters 2>"$WORK/check.log"; then
 		echo "telemetry_smoke: OK"
 		exit 0
 	fi
