@@ -1,0 +1,107 @@
+// Command wbsn-gateway runs the networked reconstruction gateway: a TCP
+// server that ingests link-encoded CS windows from wearable streams,
+// decodes them through the shared gateway engine (one session actor per
+// stream, bounded backpressure, panic isolation), and answers each
+// completed record with its reconstruction digest.
+//
+// The server and its clients must share the sensing-matrix seed and the
+// solver settings — the same contract a deployed firmware image has
+// with its base station. wbsn-loadgen derives its configuration from
+// the same flags, so a matched pair is:
+//
+//	wbsn-gateway -addr :9700 -seed 42 &
+//	wbsn-loadgen -addr 127.0.0.1:9700 -seed 42 -streams 100 -verify
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener closes, every
+// frame already accepted into a session inbox is flushed through the
+// decode engine, then the process exits. -drain-timeout bounds the
+// wait.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wbsn/internal/netgw"
+	"wbsn/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:9700", "TCP listen address")
+		seed         = flag.Int64("seed", 42, "sensing-matrix seed (must match the clients)")
+		csRatio      = flag.Float64("cs-ratio", 60, "compressed-sensing ratio in percent")
+		solverIters  = flag.Int("solver-iters", 0, "FISTA iteration budget (0 keeps the library default)")
+		solverTol    = flag.Float64("solver-tol", 0, "FISTA convergence tolerance (>0 enables early exit)")
+		warm         = flag.Bool("warm", false, "warm-start the per-stream solver across windows")
+		workers      = flag.Int("workers", 0, "decode engine workers (0 = GOMAXPROCS, negative = inline)")
+		inbox        = flag.Int("inbox", 0, "per-session inbox depth (0 = default 32)")
+		ackEvery     = flag.Int("ack-every", 0, "cumulative-ack cadence in windows (0 = default 4)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "per-frame read deadline (0 = default 30s)")
+		sessionTTL   = flag.Duration("session-ttl", 0, "detached-session retention (0 = default 2m)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM")
+		telAddr      = flag.String("telemetry", "", "serve live metrics on this address (/metrics JSON, /debug/vars, /debug/pprof)")
+	)
+	flag.Parse()
+
+	_, gcfg, err := netgw.GatewayConfigFor(*seed, *csRatio, *solverIters, *solverTol, *warm)
+	if err != nil {
+		fatalf("configuration: %v", err)
+	}
+	cfg := netgw.ServerConfig{
+		Addr:          *addr,
+		Gateway:       gcfg,
+		EngineWorkers: *workers,
+		InboxDepth:    *inbox,
+		AckEvery:      *ackEvery,
+		IdleTimeout:   *idleTimeout,
+		SessionTTL:    *sessionTTL,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "wbsn-gateway: "+format+"\n", args...)
+		},
+	}
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		cfg.Telemetry = telemetry.NewSet(reg)
+		tsrv, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wbsn-gateway: telemetry on http://%s/metrics\n", tsrv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			tsrv.Shutdown(ctx) //nolint:errcheck — teardown is bounded either way
+		}()
+	}
+
+	srv, err := netgw.Serve(cfg)
+	if err != nil {
+		fatalf("serve: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wbsn-gateway: listening on %s (seed %d, cs-ratio %.0f%%, warm %v)\n",
+		srv.Addr(), *seed, *csRatio, *warm)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "wbsn-gateway: %v — draining (bound %s)\n", got, *drainTimeout)
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "wbsn-gateway: drain incomplete after %s: %v\n", time.Since(start).Round(time.Millisecond), err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wbsn-gateway: drained in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wbsn-gateway: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@ package main
 // bit-identical with or without it.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -47,7 +48,11 @@ func startTelemetry(addr string, linger time.Duration) (*telemetry.Set, string, 
 			fmt.Fprintf(os.Stderr, "telemetry: lingering %s on http://%s/metrics\n", linger, bound)
 			time.Sleep(linger)
 		}
-		srv.Close()
+		// Graceful drain: a scraper that connected during the linger and
+		// is mid-/metrics finishes its snapshot instead of being cut.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck — teardown is bounded either way
 	}
 	return set, bound, stop, nil
 }

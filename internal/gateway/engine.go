@@ -161,7 +161,7 @@ func (e *Engine) worker(dec *cs.Decoder) {
 
 // Submit enqueues one window for reconstruction and returns its Job.
 // It validates the packet shape first, blocks while the queue is full,
-// and returns ErrGateway after Close.
+// and returns ErrEngineClosed after Close.
 func (e *Engine) Submit(measurements [][]float64) (*Job, error) {
 	return e.SubmitWarm(measurements, nil)
 }
@@ -184,7 +184,7 @@ func (e *Engine) SubmitWarm(measurements [][]float64, ws *cs.WarmState) (*Job, e
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
-		return nil, ErrGateway
+		return nil, ErrEngineClosed
 	}
 	// The depth gauge counts jobs committed to the queue but not yet
 	// picked up; raising it before the (possibly blocking) send makes a

@@ -240,8 +240,8 @@ func TestEngineCloseAndValidation(t *testing.T) {
 	for i := range good {
 		good[i] = make([]float64, rx.MeasurementLen())
 	}
-	if _, err := eng.Submit(good); err != ErrGateway {
-		t.Errorf("submit after close: got %v, want ErrGateway", err)
+	if _, err := eng.Submit(good); err != ErrEngineClosed {
+		t.Errorf("submit after close: got %v, want ErrEngineClosed", err)
 	}
 	// AttachEngine must reject configuration mismatches.
 	mismatch := cfg

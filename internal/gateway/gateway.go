@@ -25,6 +25,13 @@ import (
 // ErrGateway is returned for configuration or packet-consistency errors.
 var ErrGateway = errors.New("gateway: invalid configuration or packet")
 
+// ErrEngineClosed is returned by Engine.Submit/Decode after Close: the
+// worker pool is gone, so the caller must either fail the stream or
+// route the decode inline. It is distinct from ErrGateway so lifecycle
+// races (submitting to a draining engine) are distinguishable from
+// malformed packets.
+var ErrEngineClosed = errors.New("gateway: engine closed")
+
 // Config parameterises the receiver. It must mirror the node's CS
 // configuration (window, ratio, density, seed, lead count).
 type Config struct {

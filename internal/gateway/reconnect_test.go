@@ -1,0 +1,156 @@
+package gateway
+
+import (
+	"testing"
+
+	"wbsn/internal/core"
+	"wbsn/internal/link"
+)
+
+// packetize turns a record's CS events into sequence-numbered link
+// packets, the unit a reconnecting transport would replay.
+func packetize(events []core.Event) []link.Packet {
+	var pkts []link.Packet
+	for _, e := range events {
+		if e.Kind != core.EventPacket || e.Measurements == nil {
+			continue
+		}
+		pkts = append(pkts, link.Packet{
+			Seq:          uint32(len(pkts)),
+			WindowStart:  uint32(e.At),
+			Measurements: e.Measurements,
+		})
+	}
+	return pkts
+}
+
+// A session re-attach mid-record replays packets the receiver has
+// already consumed (the client cannot know exactly where the server
+// stopped). Duplicates and stale sequence numbers offered after the
+// re-attach must be absorbed by the reassembler without corrupting the
+// reconstruction or — with warm start on — leaking stale solver state
+// into post-gap windows.
+func TestReceiverReconnectReplay(t *testing.T) {
+	events, ncfg := encodeRecord(t, 61, 10)
+	for _, warm := range []bool{false, true} {
+		name := "cold"
+		if warm {
+			name = "warm"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := fastConfig(ncfg)
+			cfg.WarmStart = warm
+			pkts := packetize(events)
+			if len(pkts) < 4 {
+				t.Fatalf("record too short: %d packets", len(pkts))
+			}
+			// Reference: every packet exactly once, in order.
+			ref, err := NewReceiver(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raRef := link.NewReassembler(ref)
+			for _, p := range pkts {
+				if err := raRef.Offer(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Replay path: consume the first half, then a "reconnect"
+			// replays stale packets from the start (dup of everything
+			// already consumed), then the record continues, then a late
+			// duplicate of the tail arrives once more.
+			got, err := NewReceiver(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ra := link.NewReassembler(got)
+			half := len(pkts) / 2
+			for _, p := range pkts[:half] {
+				if err := ra.Offer(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, p := range pkts[:half] { // stale replay after re-attach
+				if err := ra.Offer(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, p := range pkts[half:] {
+				if err := ra.Offer(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := ra.Offer(pkts[len(pkts)-1]); err != nil { // late dup
+				t.Fatal(err)
+			}
+			st := ra.Stats()
+			if st.Duplicates != half+1 {
+				t.Errorf("duplicates = %d, want %d", st.Duplicates, half+1)
+			}
+			if st.Filled != 0 {
+				t.Errorf("filled = %d, want 0 (no real loss occurred)", st.Filled)
+			}
+			equalSignals(t, ref.Signal(), got.Signal(), "reconnect replay")
+		})
+	}
+}
+
+// A replay that crosses an ARQ gap: the lost window drops the warm
+// state, and stale packets replayed after the gap must not re-seed the
+// solver with pre-gap coefficients.
+func TestReceiverReconnectAcrossGap(t *testing.T) {
+	events, ncfg := encodeRecord(t, 62, 14)
+	cfg := fastConfig(ncfg)
+	cfg.WarmStart = true
+	pkts := packetize(events)
+	if len(pkts) < 6 {
+		t.Fatalf("record too short: %d packets", len(pkts))
+	}
+	lost := len(pkts) / 2
+	// Reference: in-order delivery with one declared loss.
+	ref, err := NewReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raRef := link.NewReassembler(ref)
+	for i, p := range pkts {
+		if i == lost {
+			if err := raRef.DeclareLost(p.Seq); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := raRef.Offer(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replay path: same loss, but a reconnect right after the gap
+	// replays the packets before the loss.
+	got, err := NewReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := link.NewReassembler(got)
+	for _, p := range pkts[:lost] {
+		if err := ra.Offer(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ra.DeclareLost(pkts[lost].Seq); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts[:lost] { // stale replay across the gap
+		if err := ra.Offer(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range pkts[lost+1:] {
+		if err := ra.Offer(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got.SamplesReceived() != ref.SamplesReceived() {
+		t.Fatalf("samples = %d, want %d", got.SamplesReceived(), ref.SamplesReceived())
+	}
+	equalSignals(t, ref.Signal(), got.Signal(), "replay across gap")
+}

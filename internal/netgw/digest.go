@@ -1,0 +1,31 @@
+package netgw
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// SignalDigest fingerprints a reconstructed multi-lead signal with
+// FNV-1a over the IEEE-754 bit patterns (lead count, then each lead's
+// length and samples). It is the bit-identity certificate of the
+// networked path: the server computes it over the session receiver's
+// accumulated signal, a verifying client computes it over an in-process
+// reconstruction of the same windows, and equality proves the TCP path
+// changed nothing — including under injected transport faults.
+func SignalDigest(signal [][]float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(uint64(len(signal)))
+	for _, lead := range signal {
+		put(uint64(len(lead)))
+		for _, v := range lead {
+			put(math.Float64bits(v))
+		}
+	}
+	return h.Sum64()
+}

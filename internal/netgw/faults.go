@@ -1,0 +1,124 @@
+package netgw
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Injected transport errors — distinguishable in logs from real
+// network failures.
+var (
+	errInjectedReset    = errors.New("netgw: injected connection reset")
+	errInjectedTruncate = errors.New("netgw: injected truncated write")
+)
+
+// FaultConfig parameterises the transport fault injector: a layer of
+// deliberately hostile plumbing between client and server that
+// reproduces, on a real socket, the failure modes a body-area uplink
+// suffers — abrupt resets, partial writes, bit corruption, slowloris
+// pacing, and duplicate re-attaches. Each Write samples at most one
+// fault, so probabilities compose additively.
+type FaultConfig struct {
+	// PReset aborts the connection before the write (RST-style: linger
+	// zeroed so the peer sees a hard reset, not a graceful FIN).
+	PReset float64
+	// PTruncate writes a prefix of the buffer, then closes — the
+	// classic partial-write-then-die, which desynchronises the peer's
+	// framing mid-frame.
+	PTruncate float64
+	// PBitFlip flips one random bit of the written buffer and reports
+	// success — silent corruption the receiver must catch by CRC.
+	PBitFlip float64
+	// PSlowloris paces the write out in SlowChunk-byte dribbles with
+	// SlowDelay sleeps — the slow-client attack the server's per-frame
+	// read deadline must cut.
+	PSlowloris float64
+	// PDupHello, sampled at dial time, precedes the real connection
+	// with a ghost connection that replays the stream's hello and a few
+	// stale frames before vanishing.
+	PDupHello float64
+	// SlowChunk and SlowDelay shape the slowloris dribble (defaults 7
+	// bytes, 2ms).
+	SlowChunk int
+	SlowDelay time.Duration
+}
+
+// Enabled reports whether any per-write fault is armed.
+func (f FaultConfig) Enabled() bool {
+	return f.PReset > 0 || f.PTruncate > 0 || f.PBitFlip > 0 || f.PSlowloris > 0
+}
+
+func (f FaultConfig) withDefaults() FaultConfig {
+	out := f
+	if out.SlowChunk <= 0 {
+		out.SlowChunk = 7
+	}
+	if out.SlowDelay <= 0 {
+		out.SlowDelay = 2 * time.Millisecond
+	}
+	return out
+}
+
+// wrap layers the injector over a connection. The returned conn is for
+// single-goroutine use (the client's), matching how SendRecord drives
+// its transport.
+func (f FaultConfig) wrap(conn net.Conn, rng *rand.Rand) net.Conn {
+	return &faultConn{Conn: conn, cfg: f.withDefaults(), rng: rng}
+}
+
+type faultConn struct {
+	net.Conn
+	cfg FaultConfig
+	rng *rand.Rand
+}
+
+// abort hard-kills the connection: linger zero makes the close send an
+// RST instead of a clean shutdown when the transport supports it.
+func (f *faultConn) abort() {
+	if tc, ok := f.Conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	f.Conn.Close()
+}
+
+func (f *faultConn) Write(b []byte) (int, error) {
+	r := f.rng.Float64()
+	if r < f.cfg.PReset {
+		f.abort()
+		return 0, errInjectedReset
+	}
+	r -= f.cfg.PReset
+	if r < f.cfg.PTruncate {
+		n := len(b) / 2
+		if n > 0 {
+			f.Conn.Write(b[:n]) //nolint:errcheck — the fault is the point
+		}
+		f.abort()
+		return n, errInjectedTruncate
+	}
+	r -= f.cfg.PTruncate
+	if r < f.cfg.PBitFlip && len(b) > 0 {
+		c := make([]byte, len(b))
+		copy(c, b)
+		bit := f.rng.Intn(len(c) * 8)
+		c[bit/8] ^= 1 << (bit % 8)
+		return f.Conn.Write(c)
+	}
+	r -= f.cfg.PBitFlip
+	if r < f.cfg.PSlowloris {
+		for off := 0; off < len(b); off += f.cfg.SlowChunk {
+			end := off + f.cfg.SlowChunk
+			if end > len(b) {
+				end = len(b)
+			}
+			if _, err := f.Conn.Write(b[off:end]); err != nil {
+				return off, err
+			}
+			time.Sleep(f.cfg.SlowDelay)
+		}
+		return len(b), nil
+	}
+	return f.Conn.Write(b)
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
@@ -76,5 +77,21 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 // requested :0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener.
+// Shutdown drains the server gracefully: the listener closes
+// immediately (no new scrapes), in-flight requests — a scraper
+// mid-/metrics, a profiler holding /debug/pprof/profile open — run to
+// completion, then idle keep-alive connections are closed. ctx bounds
+// the wait; on expiry the remaining connections are cut and ctx's
+// error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// The deadline passed with requests still in flight: cut them so
+		// the caller's teardown is bounded either way.
+		s.srv.Close()
+	}
+	return err
+}
+
+// Close stops the listener immediately, cutting in-flight requests.
 func (s *Server) Close() error { return s.srv.Close() }

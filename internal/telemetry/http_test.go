@@ -1,10 +1,12 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"testing"
+	"time"
 )
 
 func TestServeMetricsEndpoint(t *testing.T) {
@@ -64,6 +66,53 @@ func TestServeMetricsEndpoint(t *testing.T) {
 			t.Errorf("%s status %d", path, r.StatusCode)
 		}
 	}
+}
+
+// Shutdown must let an in-flight scrape finish, refuse new connections,
+// and stay callable twice without panicking.
+func TestServerShutdownDrains(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test.shutdown").Add(7)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	// Open a scrape, then shut down while its response may still be in
+	// flight; the request must complete with the full JSON body.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("in-flight scrape: %v", err)
+	}
+	resp.Body.Close()
+	if snap.Counters["test.shutdown"] != 7 {
+		t.Errorf("scrape during shutdown returned %d, want 7", snap.Counters["test.shutdown"])
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The listener is gone: new scrapes must fail.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("scrape after Shutdown succeeded, want connection error")
+	}
+
+	// Second Shutdown and Close after Shutdown are safe no-ops.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	srv.Shutdown(ctx) //nolint:errcheck — must simply not panic
+	srv.Close()       //nolint:errcheck
 }
 
 func TestServeTwiceDoesNotPanic(t *testing.T) {

@@ -218,6 +218,65 @@ func (s *SolverMetrics) RecordReset() {
 	s.WarmResets.Inc()
 }
 
+// NetGWMetrics instruments the networked gateway (internal/netgw):
+// connection and session churn, the shed/corrupt/rewind counters of the
+// backpressure protocol, per-session inbox pressure and the drain
+// latency of a graceful shutdown.
+type NetGWMetrics struct {
+	// ConnsAccepted/ConnsClosed count transport connections;
+	// ProtocolErrors counts connections dropped for framing or handshake
+	// violations (bad magic, oversized frames, data before Hello).
+	ConnsAccepted  *Counter
+	ConnsClosed    *Counter
+	ProtocolErrors *Counter
+	// SessionsActive is the live session-actor count;
+	// Started/Finished/Expired count session lifecycle edges and Panics
+	// the actors that died to an isolated panic.
+	SessionsActive   *Gauge
+	SessionsStarted  *Counter
+	SessionsFinished *Counter
+	SessionsExpired  *Counter
+	SessionPanics    *Counter
+	// Resumes counts re-attaches of an existing session (reconnects);
+	// FramesRx all data frames read off the wire; FramesCorrupt the ones
+	// the link CRC rejected; FramesShed the ones dropped because a
+	// session inbox was full; Rewinds the go-back-N acks those two
+	// triggered; Delivered the windows handed to a receiver in order.
+	Resumes      *Counter
+	FramesRx     *Counter
+	FramesCorrupt *Counter
+	FramesShed   *Counter
+	Rewinds      *Counter
+	Delivered    *Counter
+	// InboxDepth is the summed depth of all session inboxes — the
+	// server-side backpressure gauge (High() is the watermark).
+	InboxDepth *Gauge
+	// DrainNs is the duration of the last graceful drain.
+	DrainNs *Gauge
+}
+
+// NewNetGWMetrics registers the networked-gateway family (netgw.*).
+func NewNetGWMetrics(reg *Registry) *NetGWMetrics {
+	return &NetGWMetrics{
+		ConnsAccepted:    reg.Counter("netgw.conns.accepted"),
+		ConnsClosed:      reg.Counter("netgw.conns.closed"),
+		ProtocolErrors:   reg.Counter("netgw.protocol_errors"),
+		SessionsActive:   reg.Gauge("netgw.sessions.active"),
+		SessionsStarted:  reg.Counter("netgw.sessions.started"),
+		SessionsFinished: reg.Counter("netgw.sessions.finished"),
+		SessionsExpired:  reg.Counter("netgw.sessions.expired"),
+		SessionPanics:    reg.Counter("netgw.sessions.panics"),
+		Resumes:          reg.Counter("netgw.resumes"),
+		FramesRx:         reg.Counter("netgw.frames.rx"),
+		FramesCorrupt:    reg.Counter("netgw.frames.corrupt"),
+		FramesShed:       reg.Counter("netgw.frames.shed"),
+		Rewinds:          reg.Counter("netgw.rewinds"),
+		Delivered:        reg.Counter("netgw.windows.delivered"),
+		InboxDepth:       reg.Gauge("netgw.inbox.depth"),
+		DrainNs:          reg.Gauge("netgw.drain_ns"),
+	}
+}
+
 // FleetMetrics instruments fleet.Engine: population rollups plus lazy
 // per-shard patient counters.
 type FleetMetrics struct {
@@ -396,6 +455,7 @@ type Set struct {
 	// the decoding side.
 	Solver *SolverMetrics
 	Fleet  *FleetMetrics
+	NetGW  *NetGWMetrics
 }
 
 // traceRingSpans sizes the Set's trace ring.
@@ -417,5 +477,6 @@ func NewSet(reg *Registry) *Set {
 		Gateway:  gw,
 		Solver:   gw.Solver,
 		Fleet:    NewFleetMetrics(reg),
+		NetGW:    NewNetGWMetrics(reg),
 	}
 }

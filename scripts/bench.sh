@@ -5,7 +5,7 @@
 #
 # Usage: scripts/bench.sh [benchtime] [output]
 #   benchtime defaults to 1s; pass e.g. "1x" for a smoke run.
-#   output defaults to BENCH_PR5.json (the current PR's capture); pass
+#   output defaults to BENCH_PR6.json (the current PR's capture); pass
 #   e.g. BENCH_PR3.json to regenerate an earlier PR's file with the
 #   same bench set.
 #
@@ -18,13 +18,13 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT="${2:-BENCH_PR5.json}"
+OUT="${2:-BENCH_PR6.json}"
 TMP="$(mktemp "$OUT.tmp.XXXXXX")"
 trap 'rm -f "$TMP"' EXIT
 
 if ! go test -run '^$' \
-	-bench 'GatewayEndToEnd|GatewaySetup|ThroughputEngine|ReconstructParallel|FISTAReconstruct|FISTAWarmVsCold|FleetShards|FleetStreamPush|TelemetryOverhead|ApplyTCSR|ApplyCSR' \
-	-benchtime "$BENCHTIME" -benchmem -json . ./internal/cs >"$TMP"; then
+	-bench 'GatewayEndToEnd|GatewaySetup|ThroughputEngine|ReconstructParallel|FISTAReconstruct|FISTAWarmVsCold|FleetShards|FleetStreamPush|TelemetryOverhead|ApplyTCSR|ApplyCSR|NetGatewayRecords' \
+	-benchtime "$BENCHTIME" -benchmem -json . ./internal/cs ./internal/netgw >"$TMP"; then
 	echo "bench.sh: go test -bench failed; $OUT left untouched" >&2
 	cat "$TMP" >&2
 	exit 1
