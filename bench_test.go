@@ -866,7 +866,7 @@ func BenchmarkThroughputEngine(b *testing.B) {
 			windows = append(windows, e.Measurements)
 		}
 	}
-	workerSet := []int{1, 2, runtime.GOMAXPROCS(0)}
+	workerSet := dedupeCounts([]int{1, 2, runtime.GOMAXPROCS(0)})
 	for _, tol := range []float64{0, 1e-3} {
 		solver := "fixed"
 		if tol > 0 {
@@ -895,6 +895,117 @@ func BenchmarkThroughputEngine(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// dedupeCounts drops repeated entries from a benchmark sweep while
+// preserving order. On a single-core host GOMAXPROCS(0) collapses onto
+// 1, which would otherwise register two subtests with the same name.
+func dedupeCounts(counts []int) []int {
+	out := counts[:0]
+	seen := make(map[int]bool, len(counts))
+	for _, c := range counts {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BenchmarkThroughputEngineBatched measures the structure-of-arrays
+// batched engine on its target workload: several concurrent warm
+// streams whose windows arrive together, so one worker can fold K
+// queued windows into a single SoA solver pass. Eight warm streams
+// replay the same 8-second record window by window; batch=1 is the
+// sequential baseline (single-job batches route through the scalar
+// solver, bit-identically), and records/s counts one record per stream
+// per iteration — directly comparable to BenchmarkThroughputEngine's
+// records/s at equal worker count.
+func BenchmarkThroughputEngineBatched(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 92, Duration: 8})
+	node, err := core.NewNode(core.Config{Mode: core.ModeCS, CSRatio: 60, Seed: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := node.NewStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([][]float64, len(rec.Leads))
+	for li := range chunk {
+		chunk[li] = rec.Clean[li]
+	}
+	events, err := stream.PushBlock(chunk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var windows [][][]float64
+	for _, e := range events {
+		if e.Kind == core.EventPacket && e.Measurements != nil {
+			windows = append(windows, e.Measurements)
+		}
+	}
+	cfg := gateway.MatchNode(node.Config())
+	cfg.Solver.Tol = 1e-3
+	const streams = 8
+	for _, batch := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			eng, err := gateway.NewEngine(cfg, gateway.EngineConfig{
+				Workers:   1,
+				Batch:     batch,
+				BatchWait: time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			wss := make([]*cs.WarmState, streams)
+			for s := range wss {
+				wss[s] = cs.NewWarmState()
+			}
+			jobs := make([]*gateway.Job, streams)
+			// One untimed sweep seeds every stream's warm state so the
+			// timed loop measures steady-state throughput even at tiny
+			// -benchtime iteration counts.
+			for _, win := range windows {
+				for s := range wss {
+					j, err := eng.SubmitWarm(win, wss[s])
+					if err != nil {
+						b.Fatal(err)
+					}
+					jobs[s] = j
+				}
+				for _, j := range jobs {
+					if _, err := j.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				for _, win := range windows {
+					for s := range wss {
+						j, err := eng.SubmitWarm(win, wss[s])
+						if err != nil {
+							b.Fatal(err)
+						}
+						jobs[s] = j
+					}
+					for _, j := range jobs {
+						if _, err := j.Wait(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+			secs := time.Since(start).Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(b.N*streams)/secs, "records/s")
+				b.ReportMetric(float64(b.N*streams*len(windows))/secs, "windows/s")
+			}
+		})
 	}
 }
 
@@ -1165,7 +1276,7 @@ func BenchmarkFleetShards(b *testing.B) {
 		patients  = 6
 		durationS = 4.0
 	)
-	shardSet := []int{1, 2, runtime.GOMAXPROCS(0)}
+	shardSet := dedupeCounts([]int{1, 2, runtime.GOMAXPROCS(0)})
 	for _, shards := range shardSet {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			eng, err := fleet.NewEngine(fleet.Config{

@@ -40,6 +40,8 @@ func main() {
 		solverTol    = flag.Float64("solver-tol", 0, "FISTA convergence tolerance (>0 enables early exit)")
 		warm         = flag.Bool("warm", false, "warm-start the per-stream solver across windows")
 		workers      = flag.Int("workers", 0, "decode engine workers (0 = GOMAXPROCS, negative = inline)")
+		batch        = flag.Int("batch", 0, "windows per engine dispatch: >1 batches queued windows through one structure-of-arrays solver pass (0/1 = sequential)")
+		batchWait    = flag.Duration("batch-wait", 0, "how long a worker holding a partial batch waits for more windows (0 = dispatch greedily)")
 		inbox        = flag.Int("inbox", 0, "per-session inbox depth (0 = default 32)")
 		ackEvery     = flag.Int("ack-every", 0, "cumulative-ack cadence in windows (0 = default 4)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "per-frame read deadline (0 = default 30s)")
@@ -54,13 +56,15 @@ func main() {
 		fatalf("configuration: %v", err)
 	}
 	cfg := netgw.ServerConfig{
-		Addr:          *addr,
-		Gateway:       gcfg,
-		EngineWorkers: *workers,
-		InboxDepth:    *inbox,
-		AckEvery:      *ackEvery,
-		IdleTimeout:   *idleTimeout,
-		SessionTTL:    *sessionTTL,
+		Addr:            *addr,
+		Gateway:         gcfg,
+		EngineWorkers:   *workers,
+		EngineBatch:     *batch,
+		EngineBatchWait: *batchWait,
+		InboxDepth:      *inbox,
+		AckEvery:        *ackEvery,
+		IdleTimeout:     *idleTimeout,
+		SessionTTL:      *sessionTTL,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "wbsn-gateway: "+format+"\n", args...)
 		},

@@ -19,7 +19,7 @@ import (
 	"wbsn/internal/telemetry"
 )
 
-func runFleetSweep(seed int64, tel *telemetry.Set, solverTol float64) error {
+func runFleetSweep(seed int64, tel *telemetry.Set, solverTol float64, engineBatch int) error {
 	maxShards := runtime.GOMAXPROCS(0)
 	// Exercise the multi-shard path (and its bit-identity) even on a
 	// single-core host, where the speedup honestly reports ~1x.
@@ -57,14 +57,15 @@ func runFleetSweep(seed int64, tel *telemetry.Set, solverTol float64) error {
 				continue
 			}
 			res, err := fleet.Run(fleet.Config{
-				Patients:  patients,
-				Shards:    shards,
-				DurationS: durationS,
-				Seed:      seed,
-				Channel:   channel,
-				SolverTol: solverTol,
-				WarmStart: solverTol > 0,
-				Telemetry: tel,
+				Patients:    patients,
+				Shards:      shards,
+				DurationS:   durationS,
+				Seed:        seed,
+				Channel:     channel,
+				SolverTol:   solverTol,
+				WarmStart:   solverTol > 0,
+				EngineBatch: engineBatch,
+				Telemetry:   tel,
 			})
 			if err != nil {
 				return err

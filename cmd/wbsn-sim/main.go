@@ -34,6 +34,7 @@ func main() {
 		fleetSweep = flag.Bool("fleet", false, "sweep the sharded multi-patient fleet across patients x shards")
 		seed       = flag.Int64("seed", 1, "branch-outcome seed")
 		solverTol  = flag.Float64("solver-tol", 0, "FISTA convergence tolerance: >0 enables early exit, adaptive restart and warm-started reconstruction in the fleet/throughput sweeps (0 keeps the fixed-budget solver)")
+		engBatch   = flag.Int("engine-batch", 0, "windows per gateway-engine dispatch in the fleet/throughput sweeps: >1 batches queued windows through one structure-of-arrays solver pass (0/1 = sequential)")
 		telAddr    = flag.String("telemetry", "", "serve live metrics on this address (/metrics JSON, /debug/vars, /debug/pprof)")
 		telLinger  = flag.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the run (for external scrapers)")
 	)
@@ -48,7 +49,7 @@ func main() {
 		tel = set
 	}
 	if *fleetSweep {
-		if err := runFleetSweep(*seed, tel, *solverTol); err != nil {
+		if err := runFleetSweep(*seed, tel, *solverTol, *engBatch); err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -60,7 +61,7 @@ func main() {
 		return
 	}
 	if *throughput {
-		if err := runThroughputSweep(*seed, *solverTol); err != nil {
+		if err := runThroughputSweep(*seed, *solverTol, *engBatch); err != nil {
 			fatalf("%v", err)
 		}
 		return

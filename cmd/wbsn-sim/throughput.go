@@ -51,7 +51,7 @@ func encodeThroughputBatch(records int, duration float64, seed int64) ([][][][]f
 	return batches, ncfg, nil
 }
 
-func runThroughputSweep(seed int64, solverTol float64) error {
+func runThroughputSweep(seed int64, solverTol float64, engineBatch int) error {
 	const (
 		records  = 4
 		duration = 8.0 // seconds per record
@@ -76,6 +76,9 @@ func runThroughputSweep(seed int64, solverTol float64) error {
 	if solverTol > 0 {
 		solver = fmt.Sprintf("early-exit solver, tol %g", solverTol)
 	}
+	if engineBatch > 1 {
+		solver += fmt.Sprintf(", batch %d", engineBatch)
+	}
 	fmt.Printf("== Gateway reconstruction throughput: %d records x %.0f s, %d windows, GOMAXPROCS=%d, %s ==\n",
 		records, duration, totalWindows, maxW, solver)
 	fmt.Printf("%-8s %12s %12s %10s %9s\n", "workers", "records/s", "windows/s", "wall(ms)", "speedup")
@@ -97,7 +100,7 @@ func runThroughputSweep(seed int64, solverTol float64) error {
 		workerSet = append(workerSet, top)
 	}
 	for _, workers := range workerSet {
-		eng, err := gateway.NewEngine(cfg, gateway.EngineConfig{Workers: workers})
+		eng, err := gateway.NewEngine(cfg, gateway.EngineConfig{Workers: workers, Batch: engineBatch})
 		if err != nil {
 			return err
 		}

@@ -121,10 +121,11 @@ type Decoder struct {
 	lip     float64 // max ||Φ_l||² (orthonormal Ψ preserves operator norms)
 	step    float64 // 1/lip, the FISTA gradient step (cached)
 	n, m    int
-	weights []float64 // per-coefficient penalty weights (0 = unpenalised)
-	alen    int       // approximation-band length n >> Levels
-	parent  []int     // rooted wavelet-tree parents (TreeIHT model)
+	weights []float64  // per-coefficient penalty weights (0 = unpenalised)
+	alen    int        // approximation-band length n >> Levels
+	parent  []int      // rooted wavelet-tree parents (TreeIHT model)
 	pool    *sync.Pool // *solverScratch
+	bpool   *sync.Pool // *batchScratch
 }
 
 // NewDecoder builds a decoder in which every lead shares the one sensing
@@ -178,6 +179,7 @@ func NewJointDecoder(phis []Matrix, cfg SolverConfig) (*Decoder, error) {
 	}
 	d.parent = parent
 	d.pool = newScratchPool(n, m)
+	d.bpool = newBatchPool()
 	return d, nil
 }
 
@@ -188,6 +190,7 @@ func NewJointDecoder(phis []Matrix, cfg SolverConfig) (*Decoder, error) {
 func (d *Decoder) Clone() *Decoder {
 	out := *d
 	out.pool = newScratchPool(d.n, d.m)
+	out.bpool = newBatchPool()
 	return &out
 }
 

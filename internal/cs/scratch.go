@@ -28,9 +28,9 @@ type solverScratch struct {
 	support []bool    // n — debias support
 
 	// Joint-solver per-lead buffers, grown on first multi-lead use.
-	gains []float64   // L — per-lead RMS gains
-	norms []float64   // n — group norms
-	ysn   [][]float64 // L×m — unit-RMS measurements
+	gains                      []float64   // L — per-lead RMS gains
+	norms                      []float64   // n — group norms
+	ysn                        [][]float64 // L×m — unit-RMS measurements
 	jtheta, jprev, jmom, jgrad [][]float64 // L×n
 }
 

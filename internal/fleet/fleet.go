@@ -88,6 +88,16 @@ type Config struct {
 	// GOMAXPROCS). Negative disables the engine: receivers decode
 	// inline on their shard.
 	EngineWorkers int
+	// EngineBatch is the most queued windows one engine worker dispatch
+	// reconstructs in a single structure-of-arrays solver pass (default
+	// 1 — sequential dispatch). Per window the reconstruction is
+	// bit-identical at every batch size, so patient digests stay
+	// batch-size-invariant (TestFleetBatchDigestInvariance).
+	EngineBatch int
+	// EngineBatchWait bounds how long an engine worker holding a
+	// partial batch waits for more windows before dispatching (0
+	// dispatches greedily with whatever is queued).
+	EngineBatchWait time.Duration
 	// BlockS is the acquisition block in seconds: samples are pushed in
 	// blocks and the resulting events drained in one batch per block
 	// (default 1 s).
@@ -218,7 +228,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.gcfg.Solver.Tol = c.SolverTol
 		e.gcfg.WarmStart = c.WarmStart
 		if c.EngineWorkers >= 0 {
-			ecfg := gateway.EngineConfig{Workers: c.EngineWorkers}
+			ecfg := gateway.EngineConfig{Workers: c.EngineWorkers, Batch: c.EngineBatch, BatchWait: c.EngineBatchWait}
 			if c.Telemetry != nil {
 				ecfg.Metrics = c.Telemetry.Gateway
 			}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"runtime"
 	"testing"
+	"time"
 
 	"wbsn/internal/core"
 	"wbsn/internal/ecg"
@@ -201,6 +202,38 @@ func TestFleetAnalysisMode(t *testing.T) {
 	for p := range serial.Patients {
 		if serial.Patients[p].Digest != res.Patients[p].Digest {
 			t.Errorf("patient %d: analysis fleet not shard-invariant", p)
+		}
+	}
+}
+
+// TestFleetBatchDigestInvariance is the fleet-level face of the solver
+// bit-identity contract: per-patient digests are identical whatever the
+// engine batch size — cold or warm-started — because each window's
+// reconstruction inside a structure-of-arrays batch equals the
+// sequential solve bit for bit.
+func TestFleetBatchDigestInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	for _, warm := range []bool{false, true} {
+		base := fastCfg(4, 2)
+		base.EngineWorkers = 2
+		if warm {
+			base.SolverTol = 1e-3
+			base.WarmStart = true
+		}
+		serial := runFleet(t, base)
+		for _, batch := range []int{2, 4} {
+			cfg := base
+			cfg.EngineBatch = batch
+			cfg.EngineBatchWait = time.Millisecond
+			res := runFleet(t, cfg)
+			for p := range serial.Patients {
+				if res.Patients[p].Digest != serial.Patients[p].Digest {
+					t.Errorf("warm=%v batch=%d patient %d: digest diverged from sequential dispatch",
+						warm, batch, p)
+				}
+			}
 		}
 	}
 }

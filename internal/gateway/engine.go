@@ -29,8 +29,21 @@ import (
 type EngineConfig struct {
 	// Workers is the goroutine count; 0 selects GOMAXPROCS.
 	Workers int
-	// Queue is the bounded job-queue depth; 0 selects 2*Workers.
+	// Queue is the bounded job-queue depth; 0 selects 2*Workers*Batch.
 	Queue int
+	// Batch is the most queued windows one worker dispatch reconstructs
+	// in a single structure-of-arrays solver pass (cs.Reconstruct*Batch).
+	// 0 or 1 keeps the sequential one-window-per-dispatch path. Batched
+	// dispatch is opportunistic — a worker takes whatever is queued up to
+	// Batch, it never idles waiting for a full batch — and per window the
+	// output is bit-identical to the sequential path at every fill level.
+	Batch int
+	// BatchWait bounds how long a worker holding a partial batch waits
+	// for more windows before dispatching it; 0 dispatches immediately
+	// with whatever the queue held (greedy-only formation). A small wait
+	// trades first-window latency for fuller batches when submitters are
+	// bursty but not saturating.
+	BatchWait time.Duration
 	// Metrics, when set, receives queue depth, worker utilisation and
 	// decode latency. Pure observation — reconstruction output is
 	// bit-identical with or without it.
@@ -42,8 +55,11 @@ func (c EngineConfig) withDefaults() EngineConfig {
 	if out.Workers <= 0 {
 		out.Workers = runtime.GOMAXPROCS(0)
 	}
+	if out.Batch <= 0 {
+		out.Batch = 1
+	}
 	if out.Queue <= 0 {
-		out.Queue = 2 * out.Workers
+		out.Queue = 2 * out.Workers * out.Batch
 	}
 	return out
 }
@@ -126,14 +142,88 @@ func (e *Engine) Workers() int { return e.ecfg.Workers }
 
 func (e *Engine) worker(dec *cs.Decoder) {
 	defer e.wg.Done()
-	for j := range e.jobs {
-		tm := e.tel
-		var t0 time.Time
-		if tm != nil {
-			tm.QueueDepth.Add(-1)
-			tm.BusyWorkers.Add(1)
-			t0 = time.Now()
+	maxB := e.ecfg.Batch
+	batch := make([]*Job, 0, maxB)
+	items := make([]*cs.BatchItem, 0, maxB)
+	var timer *time.Timer
+	for {
+		j, ok := <-e.jobs
+		if !ok {
+			return
 		}
+		batch = append(batch[:0], j)
+		drained := false
+		if maxB > 1 {
+			drained = e.formBatch(&batch, &timer)
+		}
+		e.runBatch(dec, batch, items[:0])
+		if drained {
+			return
+		}
+	}
+}
+
+// formBatch tops the worker's batch (already holding one job) up to the
+// configured capacity: first a non-blocking greedy drain of the queue,
+// then — when BatchWait is set and slots remain — a deadline-bounded
+// wait for late arrivals. Reports whether the job queue was closed, in
+// which case the caller runs what it holds and exits.
+func (e *Engine) formBatch(batch *[]*Job, timer **time.Timer) bool {
+	maxB := e.ecfg.Batch
+greedy:
+	for len(*batch) < maxB {
+		select {
+		case j, ok := <-e.jobs:
+			if !ok {
+				return true
+			}
+			*batch = append(*batch, j)
+		default:
+			break greedy
+		}
+	}
+	if e.ecfg.BatchWait <= 0 || len(*batch) >= maxB {
+		return false
+	}
+	if *timer == nil {
+		*timer = time.NewTimer(e.ecfg.BatchWait)
+	} else {
+		(*timer).Reset(e.ecfg.BatchWait)
+	}
+	for len(*batch) < maxB {
+		select {
+		case j, ok := <-e.jobs:
+			if !ok {
+				return true
+			}
+			*batch = append(*batch, j)
+		case <-(*timer).C:
+			return false
+		}
+	}
+	if !(*timer).Stop() {
+		<-(*timer).C
+	}
+	return false
+}
+
+// runBatch reconstructs one formed batch — one window through the
+// sequential solver, several through one structure-of-arrays pass — and
+// fans results, stats and telemetry back to the individual jobs.
+func (e *Engine) runBatch(dec *cs.Decoder, batch []*Job, items []*cs.BatchItem) {
+	tm := e.tel
+	var t0 time.Time
+	if tm != nil {
+		tm.QueueDepth.Add(int64(-len(batch)))
+		tm.BusyWorkers.Add(1)
+		if e.ecfg.Batch > 1 {
+			tm.BatchWindows.Observe(uint64(len(batch)))
+			tm.BatchFillPct.Observe(uint64(100 * len(batch) / e.ecfg.Batch))
+		}
+		t0 = time.Now()
+	}
+	if len(batch) == 1 {
+		j := batch[0]
 		// The warm variants with a nil WarmState run the identical cold
 		// compute, so routing every job through them changes nothing for
 		// plain submissions while giving warm jobs and telemetry one path.
@@ -142,10 +232,31 @@ func (e *Engine) worker(dec *cs.Decoder) {
 		} else {
 			j.leads, j.stats, j.err = dec.ReconstructJointWarm(j.measurements, j.ws)
 		}
+	} else {
+		// Distinct streams never share a WarmState and each stream has at
+		// most one job in flight (the SubmitWarm contract), so the batch
+		// holds at most one window per warm state — exactly the
+		// cs.BatchItem sequencing contract.
+		for _, j := range batch {
+			items = append(items, &cs.BatchItem{Y: j.measurements, Warm: j.ws})
+		}
+		if e.cfg.DisableJoint {
+			dec.ReconstructLeadsBatch(items)
+		} else {
+			dec.ReconstructJointBatch(items)
+		}
+		for i, j := range batch {
+			j.leads, j.stats, j.err = items[i].X, items[i].Stats, items[i].Err
+		}
+	}
+	var dur time.Duration
+	if tm != nil {
+		dur = time.Since(t0)
+		tm.BusyWorkers.Add(-1)
+		tm.DecodeNs.ObserveDuration(dur)
+	}
+	for _, j := range batch {
 		if tm != nil {
-			dur := time.Since(t0)
-			tm.BusyWorkers.Add(-1)
-			tm.DecodeNs.ObserveDuration(dur)
 			tm.Stages.Record(telemetry.StageGatewayDecode, int64(j.seq), t0.UnixNano(), int64(dur))
 			if j.err != nil {
 				tm.DecodeErrors.Inc()

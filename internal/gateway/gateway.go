@@ -14,6 +14,7 @@ package gateway
 import (
 	"errors"
 	"math/rand"
+	"sync"
 
 	"wbsn/internal/core"
 	"wbsn/internal/cs"
@@ -87,15 +88,52 @@ func (c Config) withDefaults() Config {
 	return out
 }
 
+// decoderKey identifies one immutable decoder build: the sensing-matrix
+// geometry and seed plus the full solver configuration. SolverConfig is
+// comparable (scalars and one basis pointer), so the key is usable as a
+// map key directly.
+type decoderKey struct {
+	window, density int
+	ratio           float64
+	seed            int64
+	solver          cs.SolverConfig
+}
+
+// decoderCache shares the expensive immutable decoder state — flat CSR
+// index walk, Lipschitz step, penalty weights, synthesis tables —
+// between every receiver/engine built from an identical configuration.
+// Matrix regeneration and solver derivation dominate rig construction
+// (fleet shards and engine workers rebuild the same decoder dozens of
+// times), while Clone only allocates fresh scratch pools. Decoders are
+// immutable after construction, so sharing one base across goroutines
+// is safe.
+var decoderCache struct {
+	sync.Mutex
+	m map[decoderKey]*cs.Decoder
+}
+
+// decoderCacheCap bounds the cache; distinct configurations beyond the
+// cap (test suites sweep seeds and solver settings) reset it rather
+// than grow it without bound.
+const decoderCacheCap = 32
+
 // buildDecoder regenerates the sensing matrix from the shared seed
-// exactly as the node's encoder drew it and derives the solver. It
-// returns the decoder plus the per-lead measurement count. c must
-// already have defaults applied.
+// exactly as the node's encoder drew it and derives the solver, reusing
+// the cached derived state when an identical configuration was built
+// before. It returns a private clone plus the per-lead measurement
+// count. c must already have defaults applied.
 func (c Config) buildDecoder() (*cs.Decoder, int, error) {
 	m := cs.MeasurementsForCR(c.CSWindow, c.CSRatio)
 	d := c.CSDensity
 	if d > m {
 		d = m
+	}
+	key := decoderKey{window: c.CSWindow, density: d, ratio: c.CSRatio, seed: c.Seed, solver: c.Solver}
+	decoderCache.Lock()
+	base := decoderCache.m[key]
+	decoderCache.Unlock()
+	if base != nil {
+		return base.Clone(), m, nil
 	}
 	phi, err := cs.NewSparseBinary(m, c.CSWindow, d, rand.New(rand.NewSource(c.Seed)))
 	if err != nil {
@@ -105,7 +143,13 @@ func (c Config) buildDecoder() (*cs.Decoder, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	return dec, m, nil
+	decoderCache.Lock()
+	if decoderCache.m == nil || len(decoderCache.m) >= decoderCacheCap {
+		decoderCache.m = make(map[decoderKey]*cs.Decoder)
+	}
+	decoderCache.m[key] = dec
+	decoderCache.Unlock()
+	return dec.Clone(), m, nil
 }
 
 // MatchNode builds a gateway Config mirroring a node configuration.

@@ -26,6 +26,16 @@ type ServerConfig struct {
 	// EngineWorkers sizes the shared reconstruction pool (0 selects
 	// GOMAXPROCS; negative decodes inline on the session actors).
 	EngineWorkers int
+	// EngineBatch is the most queued windows one engine worker dispatch
+	// reconstructs in a single structure-of-arrays solver pass (default
+	// 1 — sequential dispatch). Concurrent sessions submitting into the
+	// shared pool fill batches opportunistically; per window the output
+	// is bit-identical at every batch size.
+	EngineBatch int
+	// EngineBatchWait bounds how long an engine worker holding a
+	// partial batch waits for more windows before dispatching (0
+	// dispatches greedily with whatever is queued).
+	EngineBatchWait time.Duration
 	// InboxDepth bounds each session actor's data inbox (default 32).
 	// A full inbox sheds frames — backpressure never blocks a reader.
 	InboxDepth int
@@ -111,7 +121,7 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		s.tel = c.Telemetry.NetGW
 	}
 	if c.EngineWorkers >= 0 {
-		ecfg := gateway.EngineConfig{Workers: c.EngineWorkers}
+		ecfg := gateway.EngineConfig{Workers: c.EngineWorkers, Batch: c.EngineBatch, BatchWait: c.EngineBatchWait}
 		if c.Telemetry != nil {
 			ecfg.Metrics = c.Telemetry.Gateway
 		}

@@ -129,6 +129,13 @@ type GatewayMetrics struct {
 	BusyWorkers *Gauge
 	Workers     *Gauge
 	DecodeNs    *Histogram
+	// BatchWindows is the windows-per-dispatch distribution of the
+	// batch-forming worker path; BatchFillPct the same dispatch sizes as
+	// a percentage of the configured batch capacity (100 = every slot
+	// filled) — together they show how full opportunistic batches
+	// actually run.
+	BatchWindows *Histogram
+	BatchFillPct *Histogram
 	// Solver tracks the convergence behaviour of the decodes this
 	// gateway runs (solver.*).
 	Solver *SolverMetrics
@@ -145,6 +152,8 @@ func NewGatewayMetrics(reg *Registry, stages *StageSet) *GatewayMetrics {
 		BusyWorkers:  reg.Gauge("gateway.workers.busy"),
 		Workers:      reg.Gauge("gateway.workers.total"),
 		DecodeNs:     reg.Histogram("gateway.decode.ns"),
+		BatchWindows: reg.Histogram("gateway.batch.windows"),
+		BatchFillPct: reg.Histogram("gateway.batch.fill_pct"),
 		Solver:       NewSolverMetrics(reg),
 		Stages:       stages,
 	}
@@ -242,12 +251,12 @@ type NetGWMetrics struct {
 	// the link CRC rejected; FramesShed the ones dropped because a
 	// session inbox was full; Rewinds the go-back-N acks those two
 	// triggered; Delivered the windows handed to a receiver in order.
-	Resumes      *Counter
-	FramesRx     *Counter
+	Resumes       *Counter
+	FramesRx      *Counter
 	FramesCorrupt *Counter
-	FramesShed   *Counter
-	Rewinds      *Counter
-	Delivered    *Counter
+	FramesShed    *Counter
+	Rewinds       *Counter
+	Delivered     *Counter
 	// InboxDepth is the summed depth of all session inboxes — the
 	// server-side backpressure gauge (High() is the watermark).
 	InboxDepth *Gauge

@@ -1,0 +1,121 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBatchMatchesScalar pins the bit-identity contract: every plane of
+// a batched forward/inverse transform must equal the scalar transform
+// of that stripe alone, for plane counts covering the 4-wide tile and
+// its remainder paths.
+func TestBatchMatchesScalar(t *testing.T) {
+	const n = 256
+	const levels = 4
+	rng := rand.New(rand.NewSource(11))
+	for _, w := range []*Orthogonal{Haar(), Daubechies4(), Daubechies8(), Symlet8()} {
+		for _, P := range []int{1, 2, 4, 5, 6, 8, 11} {
+			x := make([]float64, P*n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			planes := make([]int, P)
+			for p := range planes {
+				planes[p] = p
+			}
+			var s BatchScratch
+			fwd := make([]float64, P*n)
+			if err := w.ForwardBatchInto(x, n, levels, planes, fwd, &s); err != nil {
+				t.Fatalf("%s P=%d: ForwardBatchInto: %v", w.Name(), P, err)
+			}
+			inv := make([]float64, P*n)
+			if err := w.InverseBatchInto(fwd, n, levels, planes, inv, &s); err != nil {
+				t.Fatalf("%s P=%d: InverseBatchInto: %v", w.Name(), P, err)
+			}
+			for p := 0; p < P; p++ {
+				stripe := x[p*n : (p+1)*n]
+				ref, err := w.Forward(stripe, levels)
+				if err != nil {
+					t.Fatalf("Forward: %v", err)
+				}
+				for i, v := range ref {
+					if got := fwd[p*n+i]; got != v {
+						t.Fatalf("%s P=%d plane %d: forward[%d] = %v, scalar %v", w.Name(), P, p, i, got, v)
+					}
+				}
+				refInv, err := w.Inverse(ref, levels)
+				if err != nil {
+					t.Fatalf("Inverse: %v", err)
+				}
+				for i, v := range refInv {
+					if got := inv[p*n+i]; got != v {
+						t.Fatalf("%s P=%d plane %d: inverse[%d] = %v, scalar %v", w.Name(), P, p, i, got, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSparsePlanes checks that only listed planes are transformed
+// and the other stripes stay untouched.
+func TestBatchSparsePlanes(t *testing.T) {
+	const n = 128
+	const levels = 3
+	const P = 7
+	w := Daubechies8()
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, P*n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	planes := []int{0, 2, 5, 6}
+	listed := map[int]bool{}
+	for _, p := range planes {
+		listed[p] = true
+	}
+	out := make([]float64, P*n)
+	for i := range out {
+		out[i] = -99
+	}
+	var s BatchScratch
+	if err := w.ForwardBatchInto(x, n, levels, planes, out, &s); err != nil {
+		t.Fatalf("ForwardBatchInto: %v", err)
+	}
+	for p := 0; p < P; p++ {
+		if !listed[p] {
+			for i := 0; i < n; i++ {
+				if out[p*n+i] != -99 {
+					t.Fatalf("inactive plane %d written at %d", p, i)
+				}
+			}
+			continue
+		}
+		ref, _ := w.Forward(x[p*n:(p+1)*n], levels)
+		for i, v := range ref {
+			if out[p*n+i] != v {
+				t.Fatalf("active plane %d mismatch at %d", p, i)
+			}
+		}
+	}
+}
+
+// TestBatchValidation covers the error paths.
+func TestBatchValidation(t *testing.T) {
+	w := Daubechies8()
+	var s BatchScratch
+	x := make([]float64, 128)
+	out := make([]float64, 128)
+	if err := w.ForwardBatchInto(x, 128, 0, []int{0}, out, &s); err != ErrLevels {
+		t.Fatalf("levels=0: got %v", err)
+	}
+	if err := w.ForwardBatchInto(x, 100, 2, []int{0}, out, &s); err != ErrLength {
+		t.Fatalf("odd stride: got %v", err)
+	}
+	if err := w.ForwardBatchInto(x, 64, 2, []int{2}, out, &s); err != ErrLength {
+		t.Fatalf("plane out of range: got %v", err)
+	}
+	if err := w.InverseBatchInto(x, 64, 2, []int{0}, out[:64], &s); err != ErrLength {
+		t.Fatalf("len mismatch: got %v", err)
+	}
+}

@@ -5,9 +5,11 @@
 #
 # Usage: scripts/bench.sh [benchtime] [output]
 #   benchtime defaults to 1s; pass e.g. "1x" for a smoke run.
-#   output defaults to BENCH_PR6.json (the current PR's capture); pass
+#   output defaults to BENCH_PR7.json (the current PR's capture); pass
 #   e.g. BENCH_PR3.json to regenerate an earlier PR's file with the
 #   same bench set.
+#
+# Compare two captures with: go run ./scripts/benchdiff OLD.json NEW.json
 #
 # The event stream is staged in a temp file and only promoted to the
 # output path when go test exits 0 — a compile error or bench panic
@@ -18,12 +20,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT="${2:-BENCH_PR6.json}"
+OUT="${2:-BENCH_PR7.json}"
 TMP="$(mktemp "$OUT.tmp.XXXXXX")"
 trap 'rm -f "$TMP"' EXIT
 
 if ! go test -run '^$' \
-	-bench 'GatewayEndToEnd|GatewaySetup|ThroughputEngine|ReconstructParallel|FISTAReconstruct|FISTAWarmVsCold|FleetShards|FleetStreamPush|TelemetryOverhead|ApplyTCSR|ApplyCSR|NetGatewayRecords' \
+	-bench 'GatewayEndToEnd|GatewaySetup|ThroughputEngine|ReconstructParallel|FISTAReconstruct|FISTAWarmVsCold|FISTABatch|FleetShards|FleetStreamPush|TelemetryOverhead|ApplyTCSR|ApplyCSR|NetGatewayRecords' \
 	-benchtime "$BENCHTIME" -benchmem -json . ./internal/cs ./internal/netgw >"$TMP"; then
 	echo "bench.sh: go test -bench failed; $OUT left untouched" >&2
 	cat "$TMP" >&2

@@ -1,0 +1,167 @@
+// Command benchdiff compares two benchmark captures produced by
+// scripts/bench.sh (go test -json event streams) and prints the
+// per-benchmark ns/op movement plus the throughput metrics the suite
+// reports (records/s, windows/s, patients/s).
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//
+// The tool is informational: host noise on shared runners routinely
+// moves ns/op by ±30% run to run (BENCH_PR6.json re-measured PR5's
+// unchanged early-exit engine 39% slower), so CI runs it non-gating
+// and humans read the deltas alongside the within-run ratios in
+// EXPERIMENTS.md. Exit status is non-zero only when a capture cannot
+// be parsed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line: the ns/op figure plus every custom
+// "value unit" pair that followed it.
+type result struct {
+	nsPerOp float64
+	metrics map[string]float64
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldSet, err := parseCapture(os.Args[1])
+	if err != nil {
+		fail("%s: %v", os.Args[1], err)
+	}
+	newSet, err := parseCapture(os.Args[2])
+	if err != nil {
+		fail("%s: %v", os.Args[2], err)
+	}
+
+	names := make([]string, 0, len(newSet))
+	for name := range newSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "old", "new", "delta")
+	for _, name := range names {
+		nw := newSet[name]
+		od, ok := oldSet[name]
+		if !ok {
+			fmt.Printf("%-60s %14s %14s %8s\n", name+" [ns/op]", "-", formatNs(nw.nsPerOp), "new")
+			continue
+		}
+		fmt.Printf("%-60s %14s %14s %s\n",
+			name+" [ns/op]", formatNs(od.nsPerOp), formatNs(nw.nsPerOp), delta(od.nsPerOp, nw.nsPerOp))
+		for _, unit := range []string{"records/s", "windows/s", "patients/s", "allocs/op"} {
+			ov, okOld := od.metrics[unit]
+			nv, okNew := nw.metrics[unit]
+			if !okOld || !okNew {
+				continue
+			}
+			fmt.Printf("%-60s %14.2f %14.2f %s\n", name+" ["+unit+"]", ov, nv, delta(ov, nv))
+		}
+	}
+	for name := range oldSet {
+		if _, ok := newSet[name]; !ok {
+			fmt.Printf("%-60s %14s %14s %8s\n", name+" [ns/op]", formatNs(oldSet[name].nsPerOp), "-", "gone")
+		}
+	}
+}
+
+// parseCapture replays a go-test JSON event stream, reassembles the
+// Output fields (a benchmark's name and its result figures may arrive
+// as separate events) and collects every benchmark result line.
+func parseCapture(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var buf strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev struct {
+			Output string
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("not a go-test JSON event stream: %w", err)
+		}
+		buf.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]result)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		name, res, ok := parseBenchLine(line)
+		if ok {
+			out[name] = res
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return out, nil
+}
+
+// parseBenchLine decodes "BenchmarkName[-procs] N value ns/op [value
+// unit]...". The -procs suffix is stripped so captures taken at
+// different GOMAXPROCS still line up.
+func parseBenchLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res := result{metrics: make(map[string]float64)}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		if fields[i+1] == "ns/op" {
+			res.nsPerOp = v
+			seenNs = true
+		} else {
+			res.metrics[fields[i+1]] = v
+		}
+	}
+	return name, res, seenNs
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		return "     n/a"
+	}
+	return fmt.Sprintf("%+7.1f%%", 100*(new-old)/old)
+}
+
+func formatNs(v float64) string {
+	return strconv.FormatFloat(v, 'f', 0, 64)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}
