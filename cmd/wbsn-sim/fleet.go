@@ -50,6 +50,7 @@ func runFleetSweep(seed int64, tel *telemetry.Set, solverTol float64, engineBatc
 	fmt.Printf("%-9s %-7s %9s %8s %7s %7s %9s %10s %8s\n",
 		"patients", "shards", "wall(ms)", "RTF", "Se", "PPV", "delivery", "radio(mJ)", "speedup")
 
+	planDesc := ""
 	for _, patients := range []int{4, 8, 16} {
 		var serial *fleet.Result
 		for _, shards := range shardSet {
@@ -73,6 +74,7 @@ func runFleetSweep(seed int64, tel *telemetry.Set, solverTol float64, engineBatc
 			speedup := 1.0
 			if serial == nil {
 				serial = res
+				planDesc = res.PlanDescription
 			} else {
 				speedup = serial.WallSeconds / res.WallSeconds
 				for p := range serial.Patients {
@@ -88,6 +90,7 @@ func runFleetSweep(seed int64, tel *telemetry.Set, solverTol float64, engineBatc
 		}
 		fmt.Println()
 	}
+	fmt.Printf("compiled node plan (every rig): %s\n", planDesc)
 	fmt.Println("all shard counts produced bit-identical per-patient event streams")
 	return nil
 }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"wbsn/internal/graph"
+	"wbsn/internal/telemetry"
+)
+
+// AdaptiveStream runs the Figure 1 ladder on-line: one node (and one
+// compiled execution plan) is prebuilt per rung of the controller's
+// [MinMode, MaxMode] excursion, and link-quality observations move the
+// active rung up and down the ladder. Because every rung's plan is
+// compiled once at construction, a mode switch costs a stream reset —
+// no graph rebuild, no allocation of work buffers — which is what makes
+// degradation viable mid-acquisition on the node.
+type AdaptiveStream struct {
+	ctrl  *ModeController
+	rungs map[Mode]*Stream
+	cur   *Stream
+}
+
+// NewAdaptiveStream prebuilds a node and stream for every rung the
+// controller may visit. The base configuration's Mode is the starting
+// rung; its other fields are shared by every rung (so a classifier must
+// be supplied whenever ModeClassification lies inside the excursion).
+func NewAdaptiveStream(cfg Config, dc DegradeConfig) (*AdaptiveStream, error) {
+	ctrl, err := NewModeController(cfg.Mode, dc)
+	if err != nil {
+		return nil, err
+	}
+	a := &AdaptiveStream{ctrl: ctrl, rungs: make(map[Mode]*Stream)}
+	for m := ctrl.cfg.MinMode; m <= ctrl.cfg.MaxMode; m++ {
+		c := cfg
+		c.Mode = m
+		node, err := NewNode(c)
+		if err != nil {
+			return nil, err
+		}
+		st, err := node.NewStream()
+		if err != nil {
+			return nil, err
+		}
+		a.rungs[m] = st
+	}
+	a.cur = a.rungs[ctrl.Mode()]
+	return a, nil
+}
+
+// Mode returns the active rung.
+func (a *AdaptiveStream) Mode() Mode { return a.ctrl.Mode() }
+
+// Transitions returns every rung change so far, in order.
+func (a *AdaptiveStream) Transitions() []ModeTransition { return a.ctrl.Transitions() }
+
+// Plan returns the compiled execution plan of the active rung.
+func (a *AdaptiveStream) Plan() *graph.Plan { return a.cur.node.Plan() }
+
+// SetTelemetry attaches the node metric family to every rung's stream
+// and the mode metric family (either may be nil) to the controller.
+func (a *AdaptiveStream) SetTelemetry(nm *telemetry.NodeMetrics, mm *telemetry.ModeMetrics) {
+	for _, st := range a.rungs {
+		st.SetTelemetry(nm)
+	}
+	a.ctrl.SetTelemetry(mm)
+}
+
+// Push appends one multi-lead sample to the active rung.
+func (a *AdaptiveStream) Push(sample []float64) ([]Event, error) {
+	return a.cur.Push(sample)
+}
+
+// PushBlock appends a lead-major block to the active rung.
+func (a *AdaptiveStream) PushBlock(block [][]float64) ([]Event, error) {
+	return a.cur.PushBlock(block)
+}
+
+// Flush processes whatever remains buffered in the active rung.
+func (a *AdaptiveStream) Flush() ([]Event, error) {
+	return a.cur.Flush()
+}
+
+// Observe feeds one link delivery-ratio sample (0..1) tagged with a
+// stream position. When the controller decides to change rungs, the
+// outgoing rung is flushed — its tail events are returned so no buffered
+// samples are silently dropped — and the incoming rung starts fresh
+// (events it emits are indexed from the switch point).
+func (a *AdaptiveStream) Observe(at int, deliveryRatio float64) ([]Event, Mode, bool, error) {
+	mode, changed := a.ctrl.Observe(at, deliveryRatio)
+	if !changed {
+		return nil, mode, false, nil
+	}
+	tail, err := a.cur.Flush()
+	if err != nil {
+		return nil, mode, true, err
+	}
+	a.cur = a.rungs[mode]
+	a.cur.Reset()
+	return tail, mode, true, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"wbsn/internal/ecg"
+	"wbsn/internal/telemetry"
+)
+
+// TestAdaptiveStreamLadder degrades a CS node to delineation under a
+// failing link and recovers it, checking that rung switches swap the
+// executing plan, flush the outgoing rung's tail, and that both rungs
+// emit their mode's events.
+func TestAdaptiveStreamLadder(t *testing.T) {
+	rec := ecg.Generate(ecg.Config{Seed: 81, Duration: 20})
+	a, err := NewAdaptiveStream(Config{Mode: ModeCS, CSRatio: 60, Seed: 81},
+		DegradeConfig{Window: 1, HoldGood: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := telemetry.NewSet(telemetry.NewRegistry())
+	mm := telemetry.NewModeMetrics(set.Registry, ModeNames())
+	a.SetTelemetry(set.Node, mm)
+	if a.Mode() != ModeCS {
+		t.Fatalf("start mode %v, want %v", a.Mode(), ModeCS)
+	}
+	csPlan := a.Plan()
+
+	push := func(nSamples, from int) []Event {
+		block := make([][]float64, len(rec.Leads))
+		for li := range rec.Leads {
+			block[li] = rec.Leads[li][from : from+nSamples]
+		}
+		evs, err := a.PushBlock(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+
+	evs := push(1024, 0)
+	packets := 0
+	for _, e := range evs {
+		if e.Kind == EventPacket {
+			packets++
+		}
+	}
+	if packets != 2 {
+		t.Fatalf("CS rung emitted %d packets over 2 windows, want 2", packets)
+	}
+
+	// Push a partial window, then degrade: the switch must flush the
+	// outgoing CS rung's tail as a (raw-length) packetless remainder.
+	push(100, 1024)
+	tail, mode, changed, err := a.Observe(1124, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || mode != ModeDelineation {
+		t.Fatalf("Observe(0.2) -> mode %v changed %v, want switch to %v", mode, changed, ModeDelineation)
+	}
+	for _, e := range tail {
+		if e.Kind != EventPacket {
+			t.Fatalf("CS tail emitted %v event, want only packets", e.Kind)
+		}
+	}
+	if a.Plan() == csPlan {
+		t.Fatal("plan did not change across the rung switch")
+	}
+	if a.Plan().HasClassifier() {
+		t.Fatal("delineation rung's plan carries a classifier")
+	}
+
+	// The delineation rung must produce beats from fresh samples.
+	evs = push(int(8*256), 1124)
+	beats := 0
+	for _, e := range evs {
+		if e.Kind == EventBeat {
+			beats++
+		}
+	}
+	if beats < 4 {
+		t.Fatalf("delineation rung emitted %d beats over 8 s, want >= 4", beats)
+	}
+
+	// Recover: one good observation (HoldGood=1) steps back down.
+	if _, mode, changed, err = a.Observe(3172, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if !changed || mode != ModeCS {
+		t.Fatalf("recovery -> mode %v changed %v, want switch back to %v", mode, changed, ModeCS)
+	}
+	if a.Plan() != csPlan {
+		t.Fatal("recovered rung does not reuse its prebuilt plan")
+	}
+	if got := len(a.Transitions()); got != 2 {
+		t.Fatalf("recorded %d transitions, want 2", got)
+	}
+	// A steady link must not flush or switch anything.
+	if tail, _, changed, _ := a.Observe(3300, 1.0); changed || tail != nil {
+		t.Fatalf("steady observation changed=%v tail=%v, want no-op", changed, tail)
+	}
+}
+
+// TestAdaptiveStreamClassifierRequired checks that an excursion covering
+// ModeClassification without a classifier fails at construction, not at
+// the first switch.
+func TestAdaptiveStreamClassifierRequired(t *testing.T) {
+	_, err := NewAdaptiveStream(Config{Mode: ModeCS},
+		DegradeConfig{MinMode: ModeCS, MaxMode: ModeClassification})
+	if err == nil {
+		t.Fatal("NewAdaptiveStream spanning classification without a classifier succeeded")
+	}
+}

@@ -23,8 +23,11 @@ import (
 	"wbsn/internal/dsp"
 	"wbsn/internal/ecg"
 	"wbsn/internal/energy"
+	"wbsn/internal/graph"
 	"wbsn/internal/link"
 	"wbsn/internal/morpho"
+	"wbsn/internal/telemetry"
+	"wbsn/internal/wavelet"
 )
 
 // Errors returned by the node.
@@ -189,6 +192,11 @@ type Node struct {
 	afd     *af.Detector
 	energy  energy.NodeModel
 	beatWin classify.BeatWindow
+	// plan is the node's per-chunk pipeline compiled into a fused,
+	// arena-planned execution plan. It is immutable and shared: every
+	// Stream (and every pooled fleet rig) of this node runs it through
+	// its own graph.Exec.
+	plan *graph.Plan
 }
 
 // NewNode validates the configuration and builds the processing chain.
@@ -237,11 +245,66 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 		n.afd = afd
 	}
+	plan, err := n.buildPlan()
+	if err != nil {
+		return nil, err
+	}
+	n.plan = plan
 	return n, nil
+}
+
+// buildPlan assembles the node's per-chunk pipeline as a typed graph and
+// compiles it: one plan per configuration, shared by every stream. The
+// stage-lap tags declared here are the single clock reading taken per
+// boundary (DESIGN §10); in particular the fused filter+combine stage
+// carries one StageFilter tag, so lead combination folds into the filter
+// lap instead of double-timing the boundary.
+func (n *Node) buildPlan() (*graph.Plan, error) {
+	c := n.cfg
+	b := graph.NewBuilder()
+	switch c.Mode {
+	case ModeRawStreaming:
+		v := b.Input(c.Leads, c.CSWindow)
+		b.Packetize(v, c.BitsPerSample)
+	case ModeCS:
+		v := b.Input(c.Leads, c.CSWindow)
+		v = b.CSEncode(v, n.enc)
+		bits := c.BitsPerSample
+		if c.QuantBits > 0 {
+			bits = c.QuantBits
+			v = b.Quantize(v, bits)
+		}
+		v = b.Packetize(v, bits)
+		b.Lap(v, telemetry.StageCS)
+	default:
+		// Analysis chunk: 4 s with 1 s overlap (the stream's hop) keeps
+		// every beat fully inside at least one chunk.
+		v := b.Input(c.Leads, int(4*c.Fs))
+		if c.GateLeads {
+			v = b.GateLeads(v, c.Fs, c.LeadGateMin)
+		}
+		if !c.DisableFilter {
+			v = b.MorphFilter(v, morpho.FilterConfig{Fs: c.Fs})
+			b.Lap(v, telemetry.StageFilter)
+		}
+		series := b.CombineRMS(v)
+		w := b.Atrous(series, wavelet.AtrousScales)
+		beats := b.Delineate(w, n.del)
+		b.Lap(beats, telemetry.StageDelineate)
+		if c.Mode == ModeClassification {
+			cv := b.Classify(series, c.Classifier, n.beatWin)
+			b.Lap(cv, telemetry.StageClassify)
+		}
+	}
+	return b.Build()
 }
 
 // Config returns the node's effective configuration.
 func (n *Node) Config() Config { return n.cfg }
+
+// Plan returns the node's compiled execution plan (immutable, shared by
+// all of the node's streams).
+func (n *Node) Plan() *graph.Plan { return n.plan }
 
 // BeatOutput is one transmitted beat event.
 type BeatOutput struct {

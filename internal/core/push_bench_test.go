@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"wbsn/internal/ecg"
+)
+
+func benchPush(b *testing.B, s interface {
+	Push([]float64) ([]Event, error)
+}, rec *ecg.Record) {
+	sample := make([]float64, len(rec.Leads))
+	pos := 0
+	push := func() {
+		for li := range sample {
+			sample[li] = rec.Leads[li][pos%rec.Len()]
+		}
+		pos++
+		if _, err := s.Push(sample); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 4096; i++ {
+		push()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		push()
+	}
+}
+
+func BenchmarkPushCompiledVsLegacy(b *testing.B) {
+	rec := ecg.Generate(ecg.Config{Seed: 62, Duration: 40})
+	for _, mode := range []Mode{ModeCS, ModeDelineation} {
+		cfg := Config{Mode: mode}
+		if mode == ModeCS {
+			cfg.CSRatio = 60
+			cfg.Seed = 14
+		}
+		node, err := NewNode(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("compiled/"+mode.String(), func(b *testing.B) {
+			s, _ := node.NewStream()
+			benchPush(b, s, rec)
+		})
+		b.Run("legacy/"+mode.String(), func(b *testing.B) {
+			benchPush(b, newLegacyStream(node), rec)
+		})
+	}
+}

@@ -5,10 +5,8 @@ import (
 	"time"
 
 	"wbsn/internal/af"
-	"wbsn/internal/cs"
 	"wbsn/internal/delineation"
-	"wbsn/internal/dsp"
-	"wbsn/internal/morpho"
+	"wbsn/internal/graph"
 	"wbsn/internal/telemetry"
 )
 
@@ -51,8 +49,16 @@ type Event struct {
 // acquired and events come out with bounded latency. Analysis modes
 // process overlapping chunks internally so beats crossing chunk borders
 // are not lost.
+//
+// Each chunk runs through the node's compiled execution plan (see
+// internal/graph): the per-mode DSP chain is fused and arena-planned at
+// NewNode time, and the stream owns one executor over that shared plan,
+// so steady-state chunk processing does not allocate work buffers.
 type Stream struct {
 	node *Node
+	// exec runs the node's compiled plan; it owns every per-stream work
+	// buffer (scratch arena, filter states, classification windows).
+	exec *graph.Exec
 	// absolute index of the next sample to be pushed.
 	pos int
 	// per-lead buffered samples (absolute start at bufStart).
@@ -65,17 +71,8 @@ type Stream struct {
 	// beats accumulated for AF windowing (absolute Rs).
 	afBeats []delineation.BeatFiducials
 	afEmit  int // beats already covered by emitted AF windows
-	// reusable per-chunk work buffers: events only reference fiducials
-	// and labels, never these sample buffers, so reuse across chunks is
-	// safe.
-	morph    morpho.Scratch
-	filtered [][]float64
-	combined []float64
 	// chunk is the reusable per-drain view of the buffered leads.
 	chunk [][]float64
-	// beatBuf and featBuf are the classification-mode scratch: the
-	// extracted beat window and its projected feature vector.
-	beatBuf, featBuf []float64
 	// tel, when set, receives per-chunk counters and per-stage timings.
 	// Nothing is recorded per sample, so the Push hot path is identical
 	// with telemetry attached (TestStreamPushSteadyStateAllocs pins the
@@ -89,10 +86,11 @@ type Stream struct {
 	telCursor time.Time
 }
 
-// stageLap records the span from the previous lap point to now under
-// the given stage and advances the cursor — one clock read per stage
-// boundary. Callers must check s.tel != nil first.
-func (s *Stream) stageLap(stage telemetry.Stage, at int64) {
+// Lap implements graph.Lapper: it records the span from the previous lap
+// point to now under the given stage and advances the cursor — one clock
+// read per stage boundary. The executor only calls it when telemetry is
+// attached (the stream passes a nil Lapper otherwise).
+func (s *Stream) Lap(stage telemetry.Stage, at int64) {
 	now := time.Now()
 	s.tel.Stages.Record(stage, at, s.telCursor.UnixNano(), int64(now.Sub(s.telCursor)))
 	s.telCursor = now
@@ -104,21 +102,17 @@ func (s *Stream) stageLap(stage telemetry.Stage, at int64) {
 // only — the emitted events are bit-identical either way.
 func (s *Stream) SetTelemetry(tm *telemetry.NodeMetrics) { s.tel = tm }
 
-// NewStream creates a streaming processor for the node's mode.
+// NewStream creates a streaming processor for the node's mode, running
+// the node's shared compiled plan through a private executor.
 func (n *Node) NewStream() (*Stream, error) {
-	s := &Stream{node: n, lastBeatR: -1}
+	s := &Stream{node: n, exec: n.plan.NewExec(), lastBeatR: -1}
 	s.buf = make([][]float64, n.cfg.Leads)
+	s.chunkLen = n.plan.ChunkLen()
 	switch n.cfg.Mode {
-	case ModeRawStreaming:
-		s.chunkLen = n.cfg.CSWindow // packetise at the same granularity
-		s.hop = s.chunkLen
-	case ModeCS:
-		s.chunkLen = n.cfg.CSWindow
-		s.hop = s.chunkLen
+	case ModeRawStreaming, ModeCS:
+		s.hop = s.chunkLen // packetise at window granularity
 	default:
-		// Analysis chunk: 4 s with 1 s overlap keeps every beat fully
-		// inside at least one chunk.
-		s.chunkLen = int(4 * n.cfg.Fs)
+		// Analysis chunks overlap by 1 s (see Node.buildPlan).
 		s.hop = s.chunkLen - int(1*n.cfg.Fs)
 	}
 	return s, nil
@@ -217,7 +211,7 @@ func (s *Stream) drain(flush bool) ([]Event, error) {
 		if tm := s.tel; tm != nil {
 			// The acquire lap covers event assembly plus the compaction
 			// above (everything since the last stage boundary).
-			s.stageLap(telemetry.StageAcquire, int64(s.bufStart))
+			s.Lap(telemetry.StageAcquire, int64(s.bufStart))
 			tm.Samples.Add(uint64(adv))
 			tm.Chunks.Inc()
 			tm.Events.Add(uint64(len(evs)))
@@ -230,70 +224,33 @@ func (s *Stream) drain(flush bool) ([]Event, error) {
 	return events, nil
 }
 
-// processChunk runs the node's pipeline over one chunk starting at
-// absolute sample index base.
+// processChunk runs the compiled plan over one chunk starting at
+// absolute sample index base and assembles the mode's events from the
+// plan result.
 func (s *Stream) processChunk(chunk [][]float64, base int) ([]Event, error) {
 	n := s.node
+	var lp graph.Lapper
+	if s.tel != nil {
+		lp = s
+	}
+	res, err := s.exec.Run(chunk, base, lp)
+	if err != nil {
+		return nil, err
+	}
 	var events []Event
 	switch n.cfg.Mode {
-	case ModeRawStreaming:
-		bytes := (len(chunk)*len(chunk[0])*n.cfg.BitsPerSample + 7) / 8
-		events = append(events, Event{Kind: EventPacket, At: base, Bytes: bytes})
-		if tm := s.tel; tm != nil {
-			tm.Packets.Inc()
-			tm.TxBytes.Add(uint64(bytes))
-		}
-	case ModeCS:
-		if len(chunk[0]) == n.cfg.CSWindow {
-			ys := n.enc.EncodeLeads(chunk)
-			bits := n.cfg.BitsPerSample
-			if n.cfg.QuantBits > 0 {
-				// Explicit payload quantisation: the receiver sees the
-				// dequantised values (the per-window scale travels in the
-				// packet header).
-				bits = n.cfg.QuantBits
-				for li := range ys {
-					q, err := cs.NewQuantizer(bits, cs.AutoScale(ys[li], 1.05))
-					if err != nil {
-						return nil, err
-					}
-					ys[li], _ = q.QuantizeSlice(ys[li])
-				}
-			}
-			bytes := (n.enc.MeasurementLen()*len(chunk)*bits + 7) / 8
-			events = append(events, Event{Kind: EventPacket, At: base, Bytes: bytes, Measurements: ys})
+	case ModeRawStreaming, ModeCS:
+		// A CS plan produces no packet for a partial trailing window.
+		if res.HasPacket {
+			events = append(events, Event{Kind: EventPacket, At: base, Bytes: res.PacketBytes, Measurements: res.Measurements})
 			if tm := s.tel; tm != nil {
-				s.stageLap(telemetry.StageCS, int64(base))
 				tm.Packets.Inc()
-				tm.TxBytes.Add(uint64(bytes))
+				tm.TxBytes.Add(uint64(res.PacketBytes))
 			}
 		}
 	default:
-		// Per-chunk signal-quality gating: a lead that faults mid-record
-		// is dropped only for the chunks it corrupts.
-		leads, _, _ := n.gateLeads(chunk)
-		if !n.cfg.DisableFilter {
-			filtered, err := morpho.FilterLeadsInto(leads, morpho.FilterConfig{Fs: n.cfg.Fs}, s.filtered, &s.morph)
-			if err != nil {
-				return nil, err
-			}
-			if s.tel != nil {
-				s.stageLap(telemetry.StageFilter, int64(base))
-			}
-			s.filtered = filtered
-			leads = filtered
-		}
-		s.combined = dsp.CombineRMSInto(leads, s.combined)
-		combined := s.combined
-		beats, err := n.del.Delineate(combined)
-		if err != nil {
-			return nil, err
-		}
-		if s.tel != nil {
-			s.stageLap(telemetry.StageDelineate, int64(base))
-		}
 		refractory := int(0.2 * n.cfg.Fs)
-		for _, b := range beats {
+		for _, b := range res.Beats {
 			absR := b.R + base
 			if absR <= s.lastBeatR+refractory {
 				continue // already emitted by the previous overlapping chunk
@@ -306,22 +263,13 @@ func (s *Stream) processChunk(chunk [][]float64, base int) ([]Event, error) {
 			s.lastBeatR = absR
 			bo := BeatOutput{Fiducials: offsetBeat(b, base), Label: -1}
 			if n.cfg.Mode == ModeClassification {
-				if beat := n.beatWin.ExtractInto(combined, b.R, s.beatBuf); beat != nil {
-					s.beatBuf = beat
-					z, err := n.cfg.Classifier.RP().ProjectInto(beat, s.featBuf)
-					if err != nil {
-						return nil, err
-					}
-					s.featBuf = z
-					label, mem, err := n.cfg.Classifier.PredictProjected(z)
-					if err != nil {
-						return nil, err
-					}
+				label, mem, ok, err := s.exec.ClassifyBeat(b.R, int64(absR), lp)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
 					bo.Label = label
 					bo.Membership = mem
-				}
-				if s.tel != nil {
-					s.stageLap(telemetry.StageClassify, int64(absR))
 				}
 			}
 			if tm := s.tel; tm != nil {

@@ -139,6 +139,32 @@ func (d *WaveletDelineator) Delineate(x []float64) ([]BeatFiducials, error) {
 		return nil, err
 	}
 	s.details = w // keep the (possibly regrown) buffers for reuse
+	return d.DelineateCoeffs(w)
+}
+
+// MinInputLen is the shortest signal Delineate will process; shorter
+// inputs return no beats.
+const MinInputLen = 32
+
+// DelineateCoeffs runs detection and wave bracketing over a precomputed
+// à-trous transform (wavelet.AtrousScales equal-length scales of one
+// signal, as produced by wavelet.AtrousInto). Callers that already own
+// the transform — e.g. a compiled pipeline whose arena holds the detail
+// buffers — skip the internal transform pool entirely; Delineate is
+// exactly AtrousInto followed by this.
+func (d *WaveletDelineator) DelineateCoeffs(w [][]float64) ([]BeatFiducials, error) {
+	if len(w) < 4 {
+		return nil, ErrConfig
+	}
+	n := len(w[0])
+	for _, ws := range w {
+		if len(ws) != n {
+			return nil, ErrConfig
+		}
+	}
+	if n < MinInputLen {
+		return nil, nil
+	}
 	rPeaks, qrsMM := d.detectQRS(w)
 	beats := make([]BeatFiducials, 0, len(rPeaks))
 	for i, r := range rPeaks {
@@ -149,7 +175,7 @@ func (d *WaveletDelineator) Delineate(x []float64) ([]BeatFiducials, error) {
 		if i > 0 {
 			prevEnd = rPeaks[i-1]
 		}
-		nextStart := len(x)
+		nextStart := n
 		if i+1 < len(rPeaks) {
 			nextStart = rPeaks[i+1]
 		}

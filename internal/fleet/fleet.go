@@ -190,6 +190,10 @@ type Result struct {
 	MeanDelivery float64
 	// RadioEnergyJ sums the fleet's radio spend.
 	RadioEnergyJ float64
+	// PlanDescription summarises the compiled node pipeline every rig
+	// executed (one plan fleet-wide; each rig runs it through a private
+	// executor).
+	PlanDescription string
 }
 
 // rig is one shard's pooled per-patient state: constructed once,
@@ -245,6 +249,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 // Config returns the effective fleet configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// PlanDescription summarises the compiled execution plan shared by every
+// rig of this engine.
+func (e *Engine) PlanDescription() string { return e.node.Plan().Describe() }
+
 // Close releases the shared reconstruction pool.
 func (e *Engine) Close() {
 	if e.pool != nil {
@@ -287,8 +295,9 @@ func (e *Engine) newRig() (*rig, error) {
 func (e *Engine) Run() (*Result, error) {
 	c := e.cfg
 	res := &Result{
-		Patients: make([]PatientResult, c.Patients),
-		Shards:   c.Shards,
+		Patients:        make([]PatientResult, c.Patients),
+		Shards:          c.Shards,
+		PlanDescription: e.PlanDescription(),
 	}
 	var (
 		wg       sync.WaitGroup

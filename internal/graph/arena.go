@@ -1,0 +1,72 @@
+package graph
+
+import "sort"
+
+// The arena planner turns per-stage buffer requests into offsets inside
+// one shared float64 slab. Each request carries a liveness interval in
+// stage indices: [def, lastUse]. Two requests whose intervals overlap
+// get disjoint slab ranges; requests whose lifetimes are disjoint reuse
+// the same bytes. The slab is allocated once per executor — chunk
+// processing itself never allocates.
+
+// bufReq is one planned buffer: size in float64s and the stage interval
+// over which its contents must survive.
+type bufReq struct {
+	name         string
+	size         int
+	def, lastUse int
+	off          int // assigned by planArena
+}
+
+// bufRef locates a planned buffer inside the slab.
+type bufRef struct {
+	off, size int
+}
+
+func (r bufRef) slice(slab []float64) []float64 { return slab[r.off : r.off+r.size : r.off+r.size] }
+
+// planArena assigns slab offsets with greedy interval packing: requests
+// are placed in order of definition at the lowest offset that does not
+// collide with any live overlapping request. Returns the total slab
+// length. O(R²) in the request count, which is ~a dozen per plan and
+// paid once at build time.
+func planArena(reqs []*bufReq) int {
+	order := make([]*bufReq, len(reqs))
+	copy(order, reqs)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].def != order[j].def {
+			return order[i].def < order[j].def
+		}
+		return order[i].size > order[j].size
+	})
+	total := 0
+	placed := make([]*bufReq, 0, len(order))
+	for _, r := range order {
+		// Collect the ranges of already-placed requests whose liveness
+		// overlaps r's.
+		type rng struct{ lo, hi int }
+		var busy []rng
+		for _, p := range placed {
+			if p.lastUse < r.def || r.lastUse < p.def {
+				continue
+			}
+			busy = append(busy, rng{p.off, p.off + p.size})
+		}
+		sort.Slice(busy, func(i, j int) bool { return busy[i].lo < busy[j].lo })
+		off := 0
+		for _, bz := range busy {
+			if off+r.size <= bz.lo {
+				break
+			}
+			if bz.hi > off {
+				off = bz.hi
+			}
+		}
+		r.off = off
+		placed = append(placed, r)
+		if end := off + r.size; end > total {
+			total = end
+		}
+	}
+	return total
+}

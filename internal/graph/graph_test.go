@@ -1,0 +1,721 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"errors"
+	"wbsn/internal/classify"
+	"wbsn/internal/cs"
+	"wbsn/internal/delineation"
+	"wbsn/internal/dsp"
+	"wbsn/internal/ecg"
+	"wbsn/internal/link"
+	"wbsn/internal/morpho"
+	"wbsn/internal/telemetry"
+)
+
+func testLeads(t *testing.T, leads, n int, seed int64) [][]float64 {
+	t.Helper()
+	rec := ecg.Generate(ecg.Config{Seed: seed, Duration: float64(n)/256 + 1})
+	out := make([][]float64, leads)
+	for i := range out {
+		src := rec.Leads[i%len(rec.Leads)]
+		if len(src) < n {
+			t.Fatalf("record too short: %d < %d", len(src), n)
+		}
+		out[i] = src[:n]
+	}
+	return out
+}
+
+func wantErrBuild(t *testing.T, name string, build func(b *Builder)) {
+	t.Helper()
+	b := NewBuilder()
+	build(b)
+	if _, err := b.Build(); !errors.Is(err, ErrBuild) {
+		t.Errorf("%s: Build err = %v, want ErrBuild", name, err)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	del, err := delineation.NewWaveletDelineator(delineation.Config{Fs: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+	}{
+		{"no input", func(b *Builder) { b.Packetize(Value{}, 12) }},
+		{"empty builder", func(b *Builder) {}},
+		{"two inputs", func(b *Builder) { b.Input(3, 64); b.Input(3, 64) }},
+		{"zero leads", func(b *Builder) { b.Input(0, 64) }},
+		{"zero chunk", func(b *Builder) { b.Input(3, 0) }},
+		{"fir empty taps", func(b *Builder) { b.FIR(b.Input(3, 64), nil) }},
+		{"fir nan tap", func(b *Builder) { b.FIR(b.Input(3, 64), []float64{1, math.NaN()}) }},
+		{"biquad zero a0", func(b *Builder) {
+			b.Biquad(b.Input(3, 64), [3]float64{1, 0, 0}, [3]float64{0, 0, 0})
+		}},
+		{"biquad inf coeff", func(b *Builder) {
+			b.Biquad(b.Input(3, 64), [3]float64{math.Inf(1), 0, 0}, [3]float64{1, 0, 0})
+		}},
+		{"median zero window", func(b *Builder) { b.Median(b.Input(3, 64), 0) }},
+		{"erode zero se", func(b *Builder) { b.Erode(b.Input(3, 64), 0) }},
+		{"morph filter no fs", func(b *Builder) { b.MorphFilter(b.Input(3, 64), morpho.FilterConfig{}) }},
+		{"morph filter negative se", func(b *Builder) {
+			b.MorphFilter(b.Input(3, 64), morpho.FilterConfig{Fs: 256, NoiseSE: -1})
+		}},
+		{"gate bad fs", func(b *Builder) { b.GateLeads(b.Input(3, 64), 0, 0.7) }},
+		{"gate bad sqi", func(b *Builder) { b.GateLeads(b.Input(3, 64), 256, 1.5) }},
+		{"combine on series", func(b *Builder) {
+			b.CombineRMS(b.CombineRMS(b.Input(3, 64)))
+		}},
+		{"atrous on leads", func(b *Builder) { b.Atrous(b.Input(3, 64), 5) }},
+		{"atrous zero scales", func(b *Builder) { b.Atrous(b.CombineRMS(b.Input(3, 64)), 0) }},
+		{"atrous too many scales", func(b *Builder) { b.Atrous(b.CombineRMS(b.Input(3, 64)), 9) }},
+		{"delineate nil", func(b *Builder) {
+			b.Delineate(b.Atrous(b.CombineRMS(b.Input(3, 64)), 5), nil)
+		}},
+		{"delineate few scales", func(b *Builder) {
+			b.Delineate(b.Atrous(b.CombineRMS(b.Input(3, 64)), 3), del)
+		}},
+		{"delineate on series", func(b *Builder) { b.Delineate(b.CombineRMS(b.Input(3, 64)), del) }},
+		{"classify nil classifier", func(b *Builder) {
+			b.Classify(b.CombineRMS(b.Input(3, 64)), nil, classify.DefaultBeatWindow(256))
+		}},
+		{"cs nil encoder", func(b *Builder) { b.CSEncode(b.Input(3, 64), nil) }},
+		{"quantize on leads", func(b *Builder) { b.Quantize(b.Input(3, 64), 8) }},
+		{"packetize zero bits", func(b *Builder) { b.Packetize(b.Input(3, 64), 0) }},
+		{"packetize wide bits", func(b *Builder) { b.Packetize(b.Input(3, 64), 33) }},
+		{"packetize series", func(b *Builder) { b.Packetize(b.CombineRMS(b.Input(3, 64)), 12) }},
+		{"foreign value", func(b *Builder) {
+			other := NewBuilder()
+			v := other.Input(3, 64)
+			b.Input(3, 64)
+			_ = v
+			b.FIR(Value{}, []float64{1})
+		}},
+		{"multi consumer", func(b *Builder) {
+			in := b.Input(3, 64)
+			b.FIR(in, []float64{1})
+			b.Median(in, 3)
+		}},
+		{"lap bad stage", func(b *Builder) { b.Lap(b.Input(3, 64), telemetry.Stage(125)) }},
+		{"lap invalid value", func(b *Builder) { b.Input(3, 64); b.Lap(Value{id: 99}, telemetry.StageFilter) }},
+	}
+	for _, tc := range cases {
+		wantErrBuild(t, tc.name, tc.build)
+	}
+}
+
+func TestBuilderErrPoisons(t *testing.T) {
+	b := NewBuilder()
+	in := b.Input(3, 64)
+	bad := b.Median(in, 0) // records the error
+	if bad.Valid() {
+		t.Fatal("op after error returned a valid value")
+	}
+	// Further ops on the poisoned builder are no-ops, not panics.
+	b.CombineRMS(bad)
+	b.Packetize(bad, 12)
+	if _, err := b.Build(); !errors.Is(err, ErrBuild) {
+		t.Fatalf("Build err = %v, want the first recorded ErrBuild", err)
+	}
+	if b.Err() == nil {
+		t.Fatal("Err() lost the recorded error")
+	}
+}
+
+func equalSlices(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] && !(math.IsNaN(got[i]) && math.IsNaN(want[i])) {
+			t.Fatalf("%s: [%d] = %v, want %v (bit-identity violated)", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestStreamChainFusionBitIdentity checks the fused FIR→biquad→FIR pass
+// against sequential whole-signal dsp applications, per lead, observed
+// through the identical RMS combine on both sides.
+func TestStreamChainFusionBitIdentity(t *testing.T) {
+	const n = 777
+	chunk := testLeads(t, 3, n, 11)
+	taps1 := []float64{0.2, 0.5, 0.2, 0.1}
+	bc := [3]float64{0.4, 0.3, 0.1}
+	ac := [3]float64{2, -0.4, 0.2} // exercises the 1/a0 normalisation
+	taps2 := []float64{0.6, 0.4}
+
+	b := NewBuilder()
+	in := b.Input(3, n)
+	v := b.FIR(in, taps1)
+	v = b.Biquad(v, bc, ac)
+	v = b.FIR(v, taps2)
+	b.CombineRMS(v)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.fused != 2 {
+		t.Fatalf("fused = %d, want 2 (three stream ops in one stage)", p.fused)
+	}
+	res, err := p.NewExec().Run(chunk, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f1, _ := dsp.NewFIR(taps1)
+	bq, _ := dsp.NewBiquad(bc, ac)
+	f2, _ := dsp.NewFIR(taps2)
+	ref := make([][]float64, len(chunk))
+	for li, x := range chunk {
+		ref[li] = f2.Apply(bq.Apply(f1.Apply(x)))
+	}
+	equalSlices(t, "stream chain", res.Combined, dsp.CombineRMS(ref))
+}
+
+// TestSeriesOpsBitIdentity runs post-combine series stages (stream
+// chain, median, morphological ops) against their dsp/morpho references.
+func TestSeriesOpsBitIdentity(t *testing.T) {
+	const n = 512
+	chunk := testLeads(t, 1, n, 7)
+
+	build := func(f func(b *Builder, v Value) Value) []float64 {
+		t.Helper()
+		b := NewBuilder()
+		v := b.CombineRMS(b.Input(1, n))
+		f(b, v)
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.NewExec().Run(chunk, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Combined
+	}
+	series := dsp.CombineRMS(chunk)
+
+	got := build(func(b *Builder, v Value) Value {
+		return b.Biquad(v, [3]float64{0.3, 0.2, 0.1}, [3]float64{1, -0.5, 0.25})
+	})
+	bq, _ := dsp.NewBiquad([3]float64{0.3, 0.2, 0.1}, [3]float64{1, -0.5, 0.25})
+	equalSlices(t, "series biquad", got, bq.Apply(series))
+
+	got = build(func(b *Builder, v Value) Value { return b.Median(v, 9) })
+	ref, err := dsp.MedianFilter(series, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalSlices(t, "series median", got, ref)
+
+	morphoCases := []struct {
+		name string
+		op   func(b *Builder, v Value) Value
+		ref  func(x []float64, k int) ([]float64, error)
+		k    int
+	}{
+		{"erode", func(b *Builder, v Value) Value { return b.Erode(v, 13) }, morpho.ErodeFlat, 13},
+		{"dilate", func(b *Builder, v Value) Value { return b.Dilate(v, 13) }, morpho.DilateFlat, 13},
+		{"open", func(b *Builder, v Value) Value { return b.Open(v, 7) }, morpho.OpenFlat, 7},
+		{"close", func(b *Builder, v Value) Value { return b.Close(v, 7) }, morpho.CloseFlat, 7},
+	}
+	for _, tc := range morphoCases {
+		got = build(tc.op)
+		ref, err := tc.ref(series, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalSlices(t, "series "+tc.name, got, ref)
+	}
+}
+
+// TestFilterCombineFusionBitIdentity is the load-bearing fusion check:
+// the fused conditioning-filter + RMS combine must match the unfused
+// FilterLeads → CombineRMS pair bit for bit.
+func TestFilterCombineFusionBitIdentity(t *testing.T) {
+	for _, leads := range []int{1, 2, 3, 5} {
+		for _, n := range []int{33, 257, 1024} {
+			chunk := testLeads(t, leads, n, int64(10*leads+n))
+			cfg := morpho.FilterConfig{Fs: 256}
+
+			b := NewBuilder()
+			b.CombineRMS(b.MorphFilter(b.Input(leads, n), cfg))
+			p, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p.stages) != 1 || p.stages[0].kind != stageFilterCombine {
+				t.Fatalf("leads=%d: filter+combine not fused: %v", leads, p.stages)
+			}
+			res, err := p.NewExec().Run(chunk, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			filtered, err := morpho.FilterLeads(chunk, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalSlices(t, "filter+combine", res.Combined, dsp.CombineRMS(filtered))
+		}
+	}
+}
+
+// TestMorphFilterUnfusedBitIdentity pins the unfused path (a consumer
+// other than CombineRMS blocks the fusion) to the same reference.
+func TestMorphFilterUnfusedBitIdentity(t *testing.T) {
+	const n = 400
+	chunk := testLeads(t, 3, n, 21)
+	cfg := morpho.FilterConfig{Fs: 256}
+
+	b := NewBuilder()
+	v := b.MorphFilter(b.Input(3, n), cfg)
+	v = b.Median(v, 5)
+	b.CombineRMS(v)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.stages[0].kind != stageMorphFilter {
+		t.Fatalf("expected unfused morph filter, got %v", p.stages[0].kind)
+	}
+	res, err := p.NewExec().Run(chunk, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	filtered, err := morpho.FilterLeads(chunk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([][]float64, len(filtered))
+	for li := range filtered {
+		ref[li], err = dsp.MedianFilter(filtered[li], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	equalSlices(t, "unfused filter", res.Combined, dsp.CombineRMS(ref))
+}
+
+// TestAnalysisPlanBitIdentity compiles the full analysis chain and
+// compares combined series and delineated beats against the node's
+// batch-style reference path.
+func TestAnalysisPlanBitIdentity(t *testing.T) {
+	const n = 1024
+	chunk := testLeads(t, 3, n, 31)
+	cfg := morpho.FilterConfig{Fs: 256}
+	del, err := delineation.NewWaveletDelineator(delineation.Config{Fs: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewBuilder()
+	v := b.MorphFilter(b.Input(3, n), cfg)
+	s := b.CombineRMS(v)
+	b.Delineate(b.Atrous(s, 5), del)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.NewExec()
+	res, err := e.Run(chunk, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	filtered, err := morpho.FilterLeads(chunk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := dsp.CombineRMS(filtered)
+	beats, err := del.Delineate(combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalSlices(t, "analysis combined", res.Combined, combined)
+	if len(beats) == 0 {
+		t.Fatal("reference found no beats; test signal unusable")
+	}
+	if len(res.Beats) != len(beats) {
+		t.Fatalf("beats: %d != %d", len(res.Beats), len(beats))
+	}
+	for i := range beats {
+		if res.Beats[i] != beats[i] {
+			t.Fatalf("beat %d: %+v != %+v", i, res.Beats[i], beats[i])
+		}
+	}
+
+	// A sub-MinInputLen trailing chunk delineates to no beats.
+	short, err := e.Run([][]float64{chunk[0][:16], chunk[1][:16], chunk[2][:16]}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short.Beats) != 0 {
+		t.Fatalf("short chunk produced %d beats", len(short.Beats))
+	}
+}
+
+// TestGateBitIdentity compares the compiled gate against the link-level
+// reference masking.
+func TestGateBitIdentity(t *testing.T) {
+	const n = 1024
+	chunk := testLeads(t, 3, n, 41)
+	// Corrupt one lead so the gate has something to drop.
+	flat := make([]float64, n)
+	chunk[2] = flat
+	cfg := morpho.FilterConfig{Fs: 256}
+
+	b := NewBuilder()
+	v := b.GateLeads(b.Input(3, n), 256, 0.7)
+	b.CombineRMS(b.MorphFilter(v, cfg))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.NewExec().Run(chunk, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mask := link.GoodLeads(chunk, 256, link.SQIConfig{}, 0.7)
+	var kept [][]float64
+	for li, ok := range mask {
+		if ok {
+			kept = append(kept, chunk[li])
+		}
+	}
+	if len(kept) == 0 {
+		kept = chunk
+	}
+	if len(kept) == len(chunk) {
+		t.Log("gate kept every lead; identity still checked")
+	}
+	filtered, err := morpho.FilterLeads(kept, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalSlices(t, "gated combine", res.Combined, dsp.CombineRMS(filtered))
+}
+
+type lapRecord struct {
+	stage telemetry.Stage
+	at    int64
+}
+
+type recordingLapper struct{ laps []lapRecord }
+
+func (r *recordingLapper) Lap(stage telemetry.Stage, at int64) {
+	r.laps = append(r.laps, lapRecord{stage, at})
+}
+
+func newTestEncoder(t *testing.T, window int) *cs.Encoder {
+	t.Helper()
+	m := cs.MeasurementsForCR(window, 4)
+	phi, err := cs.NewSparseBinary(m, window, 4, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs.NewEncoder(phi)
+}
+
+// TestCSPlanBitIdentity checks the CS encode → quantize → packetize
+// chain against the streaming node's reference arithmetic, including
+// the no-packet trailing-flush behaviour and its lap suppression.
+func TestCSPlanBitIdentity(t *testing.T) {
+	const window = 512
+	chunk := testLeads(t, 3, window, 51)
+	enc := newTestEncoder(t, window)
+	const bits = 8
+
+	b := NewBuilder()
+	v := b.CSEncode(b.Input(3, window), enc)
+	v = b.Quantize(v, bits)
+	v = b.Packetize(v, bits)
+	b.Lap(v, telemetry.StageCS)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.NewExec()
+	var lp recordingLapper
+	res, err := e.Run(chunk, 512, &lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasPacket {
+		t.Fatal("full window produced no packet")
+	}
+
+	ys := enc.EncodeLeads(chunk)
+	for li := range ys {
+		q, err := cs.NewQuantizer(bits, cs.AutoScale(ys[li], 1.05))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ys[li], _ = q.QuantizeSlice(ys[li])
+	}
+	wantBytes := (enc.MeasurementLen()*len(chunk)*bits + 7) / 8
+	if res.PacketBytes != wantBytes {
+		t.Fatalf("packet bytes %d != %d", res.PacketBytes, wantBytes)
+	}
+	if len(res.Measurements) != len(ys) {
+		t.Fatalf("measurement leads %d != %d", len(res.Measurements), len(ys))
+	}
+	for li := range ys {
+		equalSlices(t, "measurements", res.Measurements[li], ys[li])
+	}
+	if len(lp.laps) != 1 || lp.laps[0] != (lapRecord{telemetry.StageCS, 512}) {
+		t.Fatalf("laps = %+v, want one StageCS at 512", lp.laps)
+	}
+
+	// Partial trailing window: no packet, no measurements, no laps.
+	lp.laps = nil
+	short := [][]float64{chunk[0][:100], chunk[1][:100], chunk[2][:100]}
+	res, err = e.Run(short, 1024, &lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasPacket || res.Measurements != nil || res.PacketBytes != 0 {
+		t.Fatalf("partial window emitted a packet: %+v", res)
+	}
+	if len(lp.laps) != 0 {
+		t.Fatalf("partial window fired laps: %+v", lp.laps)
+	}
+}
+
+func TestRawPacketPlan(t *testing.T) {
+	const n = 512
+	chunk := testLeads(t, 2, n, 61)
+	b := NewBuilder()
+	b.Packetize(b.Input(2, n), 12)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.NewExec()
+	res, err := e.Run(chunk, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (2*n*12 + 7) / 8
+	if !res.HasPacket || res.PacketBytes != want {
+		t.Fatalf("raw packet = %+v, want %d bytes", res, want)
+	}
+	// Raw mode packetises partial flush chunks too.
+	res, err = e.Run([][]float64{chunk[0][:10], chunk[1][:10]}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasPacket || res.PacketBytes != (2*10*12+7)/8 {
+		t.Fatalf("raw flush packet = %+v", res)
+	}
+}
+
+func TestClassifyBeatBitIdentity(t *testing.T) {
+	const n = 1024
+	chunk := testLeads(t, 3, n, 71)
+	win := classify.DefaultBeatWindow(256)
+	rng := rand.New(rand.NewSource(5))
+	rp, err := classify.NewRPMatrix(12, win.Len(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := map[int][][]float64{}
+	for label := 0; label < 2; label++ {
+		for k := 0; k < 6; k++ {
+			raw := make([]float64, win.Len())
+			for i := range raw {
+				raw[i] = rng.NormFloat64() + float64(label)
+			}
+			z, err := rp.ProjectInto(raw, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples[label] = append(samples[label], z)
+		}
+	}
+	cls, err := classify.Train(rp, samples, classify.TrainConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, err := delineation.NewWaveletDelineator(delineation.Config{Fs: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewBuilder()
+	s := b.CombineRMS(b.MorphFilter(b.Input(3, n), morpho.FilterConfig{Fs: 256}))
+	b.Delineate(b.Atrous(s, 5), del)
+	cv := b.Classify(s, cls, win)
+	b.Lap(cv, telemetry.StageClassify)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasClassifier() {
+		t.Fatal("plan lost its classifier")
+	}
+	e := p.NewExec()
+	res, err := e.Run(chunk, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Beats) == 0 {
+		t.Fatal("no beats to classify")
+	}
+
+	classifiedAny := false
+	for _, beat := range res.Beats {
+		var lp recordingLapper
+		label, mem, ok, err := e.ClassifyBeat(beat.R, int64(beat.R), &lp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lp.laps) != 1 || lp.laps[0].stage != telemetry.StageClassify {
+			t.Fatalf("classify laps = %+v", lp.laps)
+		}
+		ref := win.Extract(res.Combined, beat.R)
+		if (ref != nil) != ok {
+			t.Fatalf("beat %d: classified=%v, reference window nil=%v", beat.R, ok, ref == nil)
+		}
+		if !ok {
+			continue
+		}
+		classifiedAny = true
+		z, err := cls.RP().ProjectInto(ref, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLabel, wantMem, err := cls.PredictProjected(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label != wantLabel || mem != wantMem {
+			t.Fatalf("beat %d: (%d, %v) != (%d, %v)", beat.R, label, mem, wantLabel, wantMem)
+		}
+	}
+	if !classifiedAny {
+		t.Fatal("no beat had a full extraction window")
+	}
+
+	// A plan without a classify op rejects ClassifyBeat.
+	b2 := NewBuilder()
+	b2.CombineRMS(b2.Input(3, n))
+	p2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := p2.NewExec().ClassifyBeat(100, 0, nil); !errors.Is(err, ErrExec) {
+		t.Fatalf("ClassifyBeat without classify op: err = %v, want ErrExec", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	b := NewBuilder()
+	b.CombineRMS(b.Input(2, 64))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.NewExec()
+	good := make([]float64, 64)
+	cases := [][][]float64{
+		{good},               // wrong lead count
+		{good, good, good},   // wrong lead count
+		{good, good[:10]},    // ragged
+		{good[:0], good[:0]}, // empty chunk
+		{make([]float64, 65), make([]float64, 65)}, // over capacity
+	}
+	for i, chunk := range cases {
+		if _, err := e.Run(chunk, 0, nil); !errors.Is(err, ErrExec) {
+			t.Errorf("case %d: err = %v, want ErrExec", i, err)
+		}
+	}
+}
+
+// TestRunSteadyStateAllocs pins the arena promise: a warm executor
+// processes chunks without allocating (delineation output slices are
+// the only per-run product, so the measured plan stops at the à-trous
+// stage).
+func TestRunSteadyStateAllocs(t *testing.T) {
+	const n = 1024
+	chunk := testLeads(t, 3, n, 81)
+	b := NewBuilder()
+	b.Atrous(b.CombineRMS(b.MorphFilter(b.Input(3, n), morpho.FilterConfig{Fs: 256})), 5)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.NewExec()
+	if _, err := e.Run(chunk, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := e.Run(chunk, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Run allocates %.1f objects per chunk, want 0", allocs)
+	}
+}
+
+func TestPlanArenaPacking(t *testing.T) {
+	// Overlapping lifetimes must not share bytes; disjoint ones should.
+	a := &bufReq{name: "a", size: 10, def: 0, lastUse: 1}
+	bq := &bufReq{name: "b", size: 10, def: 0, lastUse: 1}
+	c := &bufReq{name: "c", size: 10, def: 2, lastUse: 3}
+	total := planArena([]*bufReq{a, bq, c})
+	if a.off == bq.off {
+		t.Fatalf("overlapping buffers share offset %d", a.off)
+	}
+	if c.off != 0 {
+		t.Fatalf("disjoint buffer did not reuse offset 0, got %d", c.off)
+	}
+	if total != 20 {
+		t.Fatalf("slab total = %d, want 20", total)
+	}
+
+	// A long-lived buffer blocks reuse across its whole span.
+	long := &bufReq{name: "long", size: 4, def: 0, lastUse: 10}
+	e1 := &bufReq{name: "e1", size: 6, def: 1, lastUse: 2}
+	e2 := &bufReq{name: "e2", size: 6, def: 3, lastUse: 4}
+	total = planArena([]*bufReq{long, e1, e2})
+	if e1.off < long.off+long.size && long.off < e1.off+e1.size {
+		t.Fatalf("e1 (%d) overlaps long-lived buffer (%d)", e1.off, long.off)
+	}
+	if e1.off != e2.off {
+		t.Fatalf("disjoint ephemerals did not share: %d vs %d", e1.off, e2.off)
+	}
+	if total != 10 {
+		t.Fatalf("slab total = %d, want 10", total)
+	}
+
+	if planArena(nil) != 0 {
+		t.Fatal("empty request set should plan an empty slab")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	const n = 1024
+	b := NewBuilder()
+	b.CombineRMS(b.MorphFilter(b.Input(3, n), morpho.FilterConfig{Fs: 256}))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ChunkLen() != n || p.Leads() != 3 {
+		t.Fatalf("getters: %d leads, %d chunk", p.Leads(), p.ChunkLen())
+	}
+	if d := p.Describe(); d == "" {
+		t.Fatal("empty Describe")
+	}
+}

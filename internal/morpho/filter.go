@@ -28,6 +28,11 @@ type FilterConfig struct {
 	NoiseSE int
 }
 
+// WithDefaults resolves the zero-means-default fields to their
+// effective values (the SE lengths the filter will actually run with),
+// for callers that orchestrate the filter stages themselves.
+func (c FilterConfig) WithDefaults() FilterConfig { return c.withDefaults() }
+
 func (c *FilterConfig) withDefaults() FilterConfig {
 	out := *c
 	if out.BaselineSE <= 0 {

@@ -27,6 +27,7 @@ var ErrBadSE = errors.New("morpho: structuring element length must be >= 1")
 // returned by this scratch.
 type Scratch struct {
 	idx  []int
+	vals []float64
 	bufs [4][]float64
 }
 
@@ -36,6 +37,16 @@ func (s *Scratch) deque(n int) []int {
 		s.idx = make([]int, n)
 	}
 	return s.idx[:n]
+}
+
+// values returns the wedge value buffer, grown to n entries. It rides
+// alongside the index buffer so wedge comparisons read cached values
+// instead of re-indexing the input through border clamping.
+func (s *Scratch) values(n int) []float64 {
+	if cap(s.vals) < n {
+		s.vals = make([]float64, n)
+	}
+	return s.vals[:n]
 }
 
 // buffer returns work buffer i, grown to n samples.
@@ -122,29 +133,45 @@ func DilateFlat(x []float64, k int) ([]float64, error) {
 // ErodeFlatInto is ErodeFlat writing into out (len(x)), drawing the
 // deque from s — allocation-free in steady state. out must not alias x.
 func ErodeFlatInto(x []float64, k int, out []float64, s *Scratch) error {
-	return slidingExtremum(x, k, true, out, s)
+	return slidingMinInto(x, k, out, s)
 }
 
 // DilateFlatInto is DilateFlat writing into out (len(x)), drawing the
 // deque from s. out must not alias x.
 func DilateFlatInto(x []float64, k int, out []float64, s *Scratch) error {
-	return slidingExtremum(x, k, false, out, s)
+	return slidingMaxInto(x, k, out, s)
 }
 
 func slidingExtremumAlloc(x []float64, k int, min bool) ([]float64, error) {
 	out := make([]float64, len(x))
 	var s Scratch
-	if err := slidingExtremum(x, k, min, out, &s); err != nil {
+	var err error
+	if min {
+		err = slidingMinInto(x, k, out, &s)
+	} else {
+		err = slidingMaxInto(x, k, out, &s)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// slidingExtremum implements the monotonic wedge: indices whose values
-// can still become the window extremum, in extremum-first order. The
-// wedge storage comes from s; out receives the result and must not alias
-// x (every sample is read after earlier outputs are written).
-func slidingExtremum(x []float64, k int, min bool, out []float64, s *Scratch) error {
+// slidingMinInto and slidingMaxInto implement the monotonic wedge:
+// indices whose values can still become the window extremum, in
+// extremum-first order. They are deliberately monomorphic twins —
+// sliding extrema dominate the conditioning filter's CPU time, and the
+// earlier shared implementation spent most of it calling `at`/`better`
+// closures. The wedge carries each candidate's value alongside its
+// index, so pops and head reads never re-index the input through border
+// clamping; the selected output bits are unchanged because comparisons
+// only choose which input sample to forward.
+//
+// Virtual padded signal of length n + k (edge replication); the window
+// for output i covers virtual indices [i-half, i-half+k-1]. The wedge
+// only ever advances its head, so flat n+k buffers replace a
+// reallocating deque. out must not alias x.
+func slidingMinInto(x []float64, k int, out []float64, s *Scratch) error {
 	if k < 1 {
 		return ErrBadSE
 	}
@@ -156,41 +183,72 @@ func slidingExtremum(x []float64, k int, min bool, out []float64, s *Scratch) er
 		return nil
 	}
 	half := k / 2
-	// Virtual padded signal of length n + k (edge replication); window for
-	// output i covers virtual indices [i-half, i-half+k-1]. The wedge
-	// only ever advances its head, so a flat n+k index buffer replaces a
-	// reallocating deque.
-	at := func(j int) float64 { return x[clampIdx(j, n)] }
-	better := func(a, b float64) bool {
-		if min {
-			return a <= b
-		}
-		return a >= b
-	}
-	deque := s.deque(n + k)
-	head, tail := 0, 0 // live wedge is deque[head:tail]
-	lo := -half        // leading edge starts at window start of output 0
+	idx := s.deque(n + k)
+	vals := s.values(n + k)
+	head, tail := 0, 0 // live wedge is idx/vals[head:tail]
 	// Pre-fill the first window except its last element.
-	for j := lo; j < lo+k-1; j++ {
-		for tail > head && better(at(j), at(deque[tail-1])) {
+	for j := -half; j < -half+k-1; j++ {
+		v := x[clampIdx(j, n)]
+		for tail > head && v <= vals[tail-1] {
 			tail--
 		}
-		deque[tail] = j
+		idx[tail], vals[tail] = j, v
 		tail++
 	}
 	for i := 0; i < n; i++ {
 		j := i - half + k - 1 // new trailing element entering the window
-		for tail > head && better(at(j), at(deque[tail-1])) {
+		v := x[clampIdx(j, n)]
+		for tail > head && v <= vals[tail-1] {
 			tail--
 		}
-		deque[tail] = j
+		idx[tail], vals[tail] = j, v
 		tail++
 		// Expire indices left of the window.
 		start := i - half
-		for deque[head] < start {
+		for idx[head] < start {
 			head++
 		}
-		out[i] = at(deque[head])
+		out[i] = vals[head]
+	}
+	return nil
+}
+
+func slidingMaxInto(x []float64, k int, out []float64, s *Scratch) error {
+	if k < 1 {
+		return ErrBadSE
+	}
+	n := len(x)
+	if len(out) != n {
+		return ErrBadSE
+	}
+	if n == 0 {
+		return nil
+	}
+	half := k / 2
+	idx := s.deque(n + k)
+	vals := s.values(n + k)
+	head, tail := 0, 0
+	for j := -half; j < -half+k-1; j++ {
+		v := x[clampIdx(j, n)]
+		for tail > head && v >= vals[tail-1] {
+			tail--
+		}
+		idx[tail], vals[tail] = j, v
+		tail++
+	}
+	for i := 0; i < n; i++ {
+		j := i - half + k - 1
+		v := x[clampIdx(j, n)]
+		for tail > head && v >= vals[tail-1] {
+			tail--
+		}
+		idx[tail], vals[tail] = j, v
+		tail++
+		start := i - half
+		for idx[head] < start {
+			head++
+		}
+		out[i] = vals[head]
 	}
 	return nil
 }

@@ -190,3 +190,52 @@ func TestMonotoneIncreasing(t *testing.T) {
 		}
 	}
 }
+
+// Property: the monomorphic value-carrying wedge handles tie plateaus
+// exactly like the naive scan — the pop-on-equal rule only changes which
+// equal-valued index survives, never the forwarded sample value.
+func TestSlidingExtremumTiePlateaus(t *testing.T) {
+	f := func(seed int64, kk uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + int(kk%60)
+		k := 1 + int(kk%17)
+		x := make([]float64, n)
+		for i := range x {
+			// Coarse quantisation forces long runs of exactly equal values.
+			x[i] = float64(rng.Intn(4))
+		}
+		e1, _ := ErodeFlat(x, k)
+		e2, _ := ErodeFlatNaive(x, k)
+		d1, _ := DilateFlat(x, k)
+		d2, _ := DilateFlatNaive(x, k)
+		for i := 0; i < n; i++ {
+			if e1[i] != e2[i] || d1[i] != d2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Windows larger than the signal exercise the all-border path of the
+// wedge (every virtual index clamps).
+func TestSlidingExtremumWindowLargerThanSignal(t *testing.T) {
+	x := []float64{3, -1, 4, 1, -5}
+	for _, k := range []int{len(x), len(x) + 1, 3 * len(x)} {
+		e1, err := ErodeFlat(x, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, _ := ErodeFlatNaive(x, k)
+		d1, _ := DilateFlat(x, k)
+		d2, _ := DilateFlatNaive(x, k)
+		for i := range x {
+			if e1[i] != e2[i] || d1[i] != d2[i] {
+				t.Fatalf("k=%d i=%d: erode %g/%g dilate %g/%g", k, i, e1[i], e2[i], d1[i], d2[i])
+			}
+		}
+	}
+}

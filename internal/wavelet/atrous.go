@@ -102,26 +102,75 @@ func AtrousInto(x []float64, scales int, details [][]float64, s *Scratch) ([][]f
 	copy(cur, x)
 	for sc := 0; sc < scales; sc++ {
 		hole := 1 << uint(sc)
-		w := details[sc]
-		for i := 0; i < n; i++ {
-			var acc float64
-			for k, g := range atrousHigh {
-				j := i - k*hole
-				acc += g * cur[reflect(j, n)]
-			}
-			w[i] = acc
-		}
-		for i := 0; i < n; i++ {
-			var acc float64
-			for k, h := range atrousLow {
-				j := i - (k-1)*hole // centre the 4-tap kernel
-				acc += h * cur[reflect(j, n)]
-			}
-			next[i] = acc
-		}
+		atrousStageInto(cur, details[sc], next, hole)
 		cur, next = next, cur
 	}
 	return details, nil
+}
+
+// atrousStageInto computes one à-trous stage (detail w and next
+// approximation) from cur. Interior samples — where every tap lands
+// inside [0,n) — skip the symmetric-reflection index mapping entirely;
+// the border loops keep the generic tap iteration. The accumulation
+// statement shape (acc += tap * sample, one statement per tap, in tap
+// order) matches the generic loop exactly so compilers see the same
+// floating-point contraction opportunities and the outputs stay
+// bit-identical.
+func atrousStageInto(cur, w, next []float64, hole int) {
+	n := len(cur)
+	// Detail (high-pass): taps at j = i, i-hole. Interior: i >= hole.
+	hiLo := hole
+	if hiLo > n {
+		hiLo = n
+	}
+	for i := 0; i < hiLo; i++ {
+		var acc float64
+		for k, g := range atrousHigh {
+			j := i - k*hole
+			acc += g * cur[reflect(j, n)]
+		}
+		w[i] = acc
+	}
+	for i := hiLo; i < n; i++ {
+		var acc float64
+		acc += 2 * cur[i]
+		acc += -2 * cur[i-hole]
+		w[i] = acc
+	}
+	// Next approximation (low-pass): taps at j = i+hole, i, i-hole,
+	// i-2*hole. Interior: i >= 2*hole and i+hole < n.
+	loLo := 2 * hole
+	if loLo > n {
+		loLo = n
+	}
+	loHi := n - hole
+	if loHi < loLo {
+		loHi = loLo
+	}
+	for i := 0; i < loLo; i++ {
+		var acc float64
+		for k, h := range atrousLow {
+			j := i - (k-1)*hole // centre the 4-tap kernel
+			acc += h * cur[reflect(j, n)]
+		}
+		next[i] = acc
+	}
+	for i := loLo; i < loHi; i++ {
+		var acc float64
+		acc += 0.125 * cur[i+hole]
+		acc += 0.375 * cur[i]
+		acc += 0.375 * cur[i-hole]
+		acc += 0.125 * cur[i-2*hole]
+		next[i] = acc
+	}
+	for i := loHi; i < n; i++ {
+		var acc float64
+		for k, h := range atrousLow {
+			j := i - (k-1)*hole
+			acc += h * cur[reflect(j, n)]
+		}
+		next[i] = acc
+	}
 }
 
 // AtrousWithApprox is Atrous but additionally returns the final smoothed

@@ -162,3 +162,29 @@ func TestIntoVariantsZeroAlloc(t *testing.T) {
 		t.Errorf("AtrousInto allocates %.1f/op", a)
 	}
 }
+
+// Short inputs leave no interior region for the split-loop à-trous
+// stage (every tap reflects); outputs must still match the generic
+// transform bit for bit at every length around the hole boundaries.
+func TestAtrousIntoShortInputsMatch(t *testing.T) {
+	var s Scratch
+	var details [][]float64
+	for n := 1; n <= 70; n++ {
+		x := randSignal(n, int64(100+n))
+		want, err := Atrous(x, AtrousScales)
+		if err != nil {
+			t.Fatal(err)
+		}
+		details, err = AtrousInto(x, AtrousScales, details, &s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			for i := range want[k] {
+				if details[k][i] != want[k][i] {
+					t.Fatalf("n=%d scale %d sample %d: %g != %g", n, k, i, details[k][i], want[k][i])
+				}
+			}
+		}
+	}
+}

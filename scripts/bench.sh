@@ -5,7 +5,7 @@
 #
 # Usage: scripts/bench.sh [benchtime] [output]
 #   benchtime defaults to 1s; pass e.g. "1x" for a smoke run.
-#   output defaults to BENCH_PR7.json (the current PR's capture); pass
+#   output defaults to BENCH_PR8.json (the current PR's capture); pass
 #   e.g. BENCH_PR3.json to regenerate an earlier PR's file with the
 #   same bench set.
 #
@@ -20,7 +20,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT="${2:-BENCH_PR7.json}"
+OUT="${2:-BENCH_PR8.json}"
 TMP="$(mktemp "$OUT.tmp.XXXXXX")"
 trap 'rm -f "$TMP"' EXIT
 

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	benchdiff OLD.json NEW.json
+//	benchdiff [-threshold PCT] OLD.json NEW.json
+//
+// With -threshold the table is followed by a one-line PASS/REGRESSED
+// verdict per benchmark: REGRESSED when ns/op moved up by more than PCT
+// percent, PASS otherwise. The verdict lines make CI logs grep-able;
+// the exit status stays informational.
 //
 // The tool is informational: host noise on shared runners routinely
 // moves ns/op by ±30% run to run (BENCH_PR6.json re-measured PR5's
@@ -18,6 +23,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -33,17 +39,25 @@ type result struct {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+	threshold := flag.Float64("threshold", 0,
+		"regression threshold in percent: print PASS/REGRESSED per benchmark when ns/op moves up by more than this")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] OLD.json NEW.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	oldSet, err := parseCapture(os.Args[1])
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+	oldSet, err := parseCapture(oldPath)
 	if err != nil {
-		fail("%s: %v", os.Args[1], err)
+		fail("%s: %v", oldPath, err)
 	}
-	newSet, err := parseCapture(os.Args[2])
+	newSet, err := parseCapture(newPath)
 	if err != nil {
-		fail("%s: %v", os.Args[2], err)
+		fail("%s: %v", newPath, err)
 	}
 
 	names := make([]string, 0, len(newSet))
@@ -74,6 +88,28 @@ func main() {
 	for name := range oldSet {
 		if _, ok := newSet[name]; !ok {
 			fmt.Printf("%-60s %14s %14s %8s\n", name+" [ns/op]", formatNs(oldSet[name].nsPerOp), "-", "gone")
+		}
+	}
+	if *threshold > 0 {
+		fmt.Printf("\nthreshold %.1f%% (ns/op):\n", *threshold)
+		regressed := 0
+		for _, name := range names {
+			od, ok := oldSet[name]
+			if !ok || od.nsPerOp == 0 {
+				continue
+			}
+			pct := 100 * (newSet[name].nsPerOp - od.nsPerOp) / od.nsPerOp
+			verdict := "PASS     "
+			if pct > *threshold {
+				verdict = "REGRESSED"
+				regressed++
+			}
+			fmt.Printf("%s %-60s %+7.1f%%\n", verdict, name, pct)
+		}
+		if regressed == 0 {
+			fmt.Println("all benchmarks within threshold")
+		} else {
+			fmt.Printf("%d benchmark(s) regressed beyond %.1f%%\n", regressed, *threshold)
 		}
 	}
 }
