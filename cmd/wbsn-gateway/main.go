@@ -47,9 +47,11 @@ func main() {
 		idleTimeout  = flag.Duration("idle-timeout", 0, "per-frame read deadline (0 = default 30s)")
 		sessionTTL   = flag.Duration("session-ttl", 0, "detached-session retention (0 = default 2m)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM")
-		telAddr      = flag.String("telemetry", "", "serve live metrics on this address (/metrics JSON, /debug/vars, /debug/pprof)")
+		telAddr      = flag.String("telemetry", "", "serve live metrics and the control plane on this address (/metrics, /sessions, /traces, /healthz, /buildinfo, /debug/pprof)")
 	)
 	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "wbsn-gateway: %s\n", telemetry.ReadBuild())
 
 	_, gcfg, err := netgw.GatewayConfigFor(*seed, *csRatio, *solverIters, *solverTol, *warm)
 	if err != nil {
@@ -69,19 +71,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wbsn-gateway: "+format+"\n", args...)
 		},
 	}
+	var (
+		reg *telemetry.Registry
+		set *telemetry.Set
+	)
 	if *telAddr != "" {
-		reg := telemetry.NewRegistry()
-		cfg.Telemetry = telemetry.NewSet(reg)
-		tsrv, err := telemetry.Serve(*telAddr, reg)
-		if err != nil {
-			fatalf("telemetry: %v", err)
-		}
-		fmt.Fprintf(os.Stderr, "wbsn-gateway: telemetry on http://%s/metrics\n", tsrv.Addr())
-		defer func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			tsrv.Shutdown(ctx) //nolint:errcheck — teardown is bounded either way
-		}()
+		reg = telemetry.NewRegistry()
+		set = telemetry.NewSet(reg)
+		cfg.Telemetry = set
 	}
 
 	srv, err := netgw.Serve(cfg)
@@ -90,6 +87,24 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "wbsn-gateway: listening on %s (seed %d, cs-ratio %.0f%%, warm %v)\n",
 		srv.Addr(), *seed, *csRatio, *warm)
+
+	if *telAddr != "" {
+		// The gateway server doubles as the control plane behind
+		// /sessions and /sessions/{id}/evict.
+		tsrv, err := telemetry.ServeOpts(*telAddr, reg, telemetry.HTTPOptions{
+			Control: srv,
+			Trace:   set.Trace,
+		})
+		if err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wbsn-gateway: telemetry on http://%s/metrics (control plane: /sessions, /traces, /healthz)\n", tsrv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			tsrv.Shutdown(ctx) //nolint:errcheck — teardown is bounded either way
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -38,6 +38,7 @@ func main() {
 		warm        = flag.Bool("warm", false, "warm-start flag (must match the server)")
 		runFor      = flag.Duration("run-for", 0, "keep streams looping until this deadline (0 = one record per stream)")
 		verify      = flag.Bool("verify", false, "reconstruct each record in-process and compare digests")
+		traced      = flag.Bool("trace", false, "send version-2 (traced) link frames so the server's /traces stitches end-to-end window trees")
 		inFlight    = flag.Int("in-flight", 0, "unacked windows per stream (0 = default 8)")
 		timeout     = flag.Duration("timeout", 0, "per-operation client deadline (0 = default 5s)")
 		attempts    = flag.Int("max-attempts", 0, "consecutive connection failures before a stream gives up (0 = default 10)")
@@ -62,6 +63,7 @@ func main() {
 		WarmStart:   *warm,
 		RunFor:      *runFor,
 		Verify:      *verify,
+		Trace:       *traced,
 		Client: netgw.ClientConfig{
 			InFlight:    *inFlight,
 			Timeout:     *timeout,

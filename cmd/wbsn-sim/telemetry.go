@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"wbsn/internal/telemetry"
@@ -35,14 +36,23 @@ var summaryKeys = []string{
 func startTelemetry(addr string, linger time.Duration) (*telemetry.Set, string, func(), error) {
 	reg := telemetry.NewRegistry()
 	set := telemetry.NewSet(reg)
-	srv, err := telemetry.Serve(addr, reg)
+	// The simulator has no network control plane, but it still serves
+	// /traces (the fleet's window trees), /buildinfo, and a /healthz
+	// that flips to draining once the run ends and the linger begins.
+	var draining atomic.Bool
+	srv, err := telemetry.ServeOpts(addr, reg, telemetry.HTTPOptions{
+		Trace:    set.Trace,
+		Draining: draining.Load,
+	})
 	if err != nil {
 		return nil, "", nil, err
 	}
 	bound := srv.Addr()
+	fmt.Fprintf(os.Stderr, "telemetry: %s\n", telemetry.ReadBuild())
 	fmt.Fprintf(os.Stderr, "telemetry: listening on http://%s/metrics\n", bound)
 	stopSummary := telemetry.StartSummary(os.Stderr, reg, 2*time.Second, summaryKeys...)
 	stop := func() {
+		draining.Store(true)
 		stopSummary()
 		if linger > 0 {
 			fmt.Fprintf(os.Stderr, "telemetry: lingering %s on http://%s/metrics\n", linger, bound)

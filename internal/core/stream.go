@@ -8,6 +8,7 @@ import (
 	"wbsn/internal/delineation"
 	"wbsn/internal/graph"
 	"wbsn/internal/telemetry"
+	"wbsn/internal/telemetry/trace"
 )
 
 // ErrStream is returned for invalid streaming usage.
@@ -43,6 +44,13 @@ type Event struct {
 	Beat BeatOutput
 	// AF is set for EventAF.
 	AF af.Decision
+	// Trace is the window's end-to-end trace ID, minted for CS packet
+	// events when a trace ring is attached (zero otherwise — untraced
+	// streams emit bit-identical events with these fields zero-valued).
+	Trace trace.ID
+	// EncodeNs is the node-side encode span duration that produced a
+	// traced packet, for transports that forward it to the gateway.
+	EncodeNs int64
 }
 
 // Stream is the on-line form of the node: samples are pushed as they are
@@ -84,6 +92,15 @@ type Stream struct {
 	// paravirtualised hosts, so stages share boundaries instead of each
 	// paying a start and an end read).
 	telCursor time.Time
+	// trRing, when set, receives one encode span per emitted CS packet
+	// and the packet events carry freshly minted trace IDs. trHi tags
+	// this stream's IDs; trSeq counts minted windows (1-based so the
+	// reserved zero ID never occurs); trT0 is the current chunk's encode
+	// span start.
+	trRing *trace.Ring
+	trHi   uint32
+	trSeq  uint32
+	trT0   time.Time
 }
 
 // Lap implements graph.Lapper: it records the span from the previous lap
@@ -101,6 +118,18 @@ func (s *Stream) Lap(stage telemetry.Stage, at int64) {
 // counts and per-stage latencies into it. Telemetry is observation
 // only — the emitted events are bit-identical either way.
 func (s *Stream) SetTelemetry(tm *telemetry.NodeMetrics) { s.tel = tm }
+
+// SetTrace attaches (or detaches, with nil) the end-to-end window
+// trace ring. hi tags this stream's trace IDs (patient or record
+// index); window sequence numbers within the stream count from 1 so
+// the reserved zero ID never occurs. Like telemetry, tracing is
+// observation only — the events' signal content is bit-identical, only
+// the Trace/EncodeNs tags differ.
+func (s *Stream) SetTrace(r *trace.Ring, hi uint32) {
+	s.trRing = r
+	s.trHi = hi
+	s.trSeq = 0
+}
 
 // NewStream creates a streaming processor for the node's mode, running
 // the node's shared compiled plan through a private executor.
@@ -127,6 +156,7 @@ func (s *Stream) Reset() {
 	s.lastBeatR = -1
 	s.afBeats = s.afBeats[:0]
 	s.afEmit = 0
+	s.trSeq = 0
 	for i := range s.buf {
 		s.buf[i] = s.buf[i][:0]
 	}
@@ -188,8 +218,10 @@ func (s *Stream) drain(flush bool) ([]Event, error) {
 		for i := range s.buf {
 			s.chunk[i] = s.buf[i][:take]
 		}
-		if s.tel != nil {
-			s.telCursor = time.Now()
+		if s.tel != nil || s.trRing != nil {
+			now := time.Now()
+			s.telCursor = now
+			s.trT0 = now
 		}
 		evs, err := s.processChunk(s.chunk, s.bufStart)
 		if err != nil {
@@ -242,7 +274,17 @@ func (s *Stream) processChunk(chunk [][]float64, base int) ([]Event, error) {
 	case ModeRawStreaming, ModeCS:
 		// A CS plan produces no packet for a partial trailing window.
 		if res.HasPacket {
-			events = append(events, Event{Kind: EventPacket, At: base, Bytes: res.PacketBytes, Measurements: res.Measurements})
+			ev := Event{Kind: EventPacket, At: base, Bytes: res.PacketBytes, Measurements: res.Measurements}
+			if s.trRing != nil && res.Measurements != nil {
+				// Mint the window's end-to-end trace ID and record the
+				// encode span (everything from the chunk boundary to here:
+				// the DSP chain plus CS projection and packetising).
+				s.trSeq++
+				ev.Trace = trace.NewID(s.trHi, s.trSeq)
+				ev.EncodeNs = int64(time.Since(s.trT0))
+				s.trRing.Record(ev.Trace, trace.KindEncode, s.trT0.UnixNano(), ev.EncodeNs)
+			}
+			events = append(events, ev)
 			if tm := s.tel; tm != nil {
 				tm.Packets.Inc()
 				tm.TxBytes.Add(uint64(res.PacketBytes))

@@ -38,6 +38,7 @@ import (
 	"wbsn/internal/gateway"
 	"wbsn/internal/link"
 	"wbsn/internal/telemetry"
+	"wbsn/internal/telemetry/trace"
 )
 
 // ErrFleet is returned for invalid fleet configurations.
@@ -104,7 +105,9 @@ type Config struct {
 	BlockS float64
 	// Telemetry, when set, wires every layer's metric family into the
 	// run: node stage timings, link ARQ counters, gateway queue/latency
-	// and the per-patient fleet rollups. Pure observation — digests are
+	// and the per-patient fleet rollups — plus end-to-end window traces
+	// when the set carries a trace collector (one ring per shard, window
+	// IDs tagged by patient). Pure observation — digests are
 	// bit-identical with or without it (TestFleetTelemetryDigestIdentity).
 	Telemetry *telemetry.Set
 }
@@ -202,6 +205,11 @@ type rig struct {
 	stream *core.Stream
 	rx     *gateway.Receiver
 	block  [][]float64
+	// tr is the shard's window-trace ring (nil when the telemetry set
+	// carries no trace collector). One ring per shard: a shard runs one
+	// patient at a time, and patient p tags its windows with hi=p, so
+	// trace IDs stay unique fleet-wide.
+	tr *trace.Ring
 }
 
 // Engine runs fleet simulations. It owns the shared node template and
@@ -261,7 +269,7 @@ func (e *Engine) Close() {
 }
 
 // newRig builds one shard's pooled state.
-func (e *Engine) newRig() (*rig, error) {
+func (e *Engine) newRig(shard int) (*rig, error) {
 	stream, err := e.node.NewStream()
 	if err != nil {
 		return nil, err
@@ -270,6 +278,9 @@ func (e *Engine) newRig() (*rig, error) {
 		stream.SetTelemetry(tel.Node)
 	}
 	r := &rig{stream: stream}
+	if tel := e.cfg.Telemetry; tel != nil && tel.Trace != nil {
+		r.tr = tel.Trace.Session(uint64(shard))
+	}
 	if e.node.Config().Mode == core.ModeCS {
 		rx, err := gateway.NewReceiver(e.gcfg)
 		if err != nil {
@@ -284,6 +295,7 @@ func (e *Engine) newRig() (*rig, error) {
 			// the receiver (the engine path records via pool metrics).
 			rx.SetTelemetry(tel.Solver)
 		}
+		rx.SetTrace(r.tr)
 		r.rx = rx
 	}
 	return r, nil
@@ -309,7 +321,7 @@ func (e *Engine) Run() (*Result, error) {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			r, err := e.newRig()
+			r, err := e.newRig(shard)
 			if err == nil {
 				for p := shard; p < c.Patients; p += c.Shards {
 					pr, perr := e.runPatient(r, p, shard)
@@ -376,6 +388,11 @@ func (e *Engine) runPatient(r *rig, p, shard int) (PatientResult, error) {
 	rec := ecg.Generate(ecg.Config{Seed: seed, Duration: c.DurationS, Noise: c.Noise})
 
 	r.stream.Reset()
+	if r.tr != nil {
+		// Windows of patient p carry trace IDs tagged hi=p; the ring is
+		// the shard's, reused across its patients.
+		r.stream.SetTrace(r.tr, uint32(p))
+	}
 	var lk *link.Link
 	if r.rx != nil {
 		r.rx.Reset()
@@ -394,6 +411,7 @@ func (e *Engine) runPatient(r *rig, p, shard int) (PatientResult, error) {
 		if tel := c.Telemetry; tel != nil {
 			lk.SetTelemetry(tel.Link)
 		}
+		lk.SetTrace(r.tr)
 	}
 
 	digest := fnv.New64a()
@@ -405,7 +423,9 @@ func (e *Engine) runPatient(r *rig, p, shard int) (PatientResult, error) {
 			switch ev.Kind {
 			case core.EventPacket:
 				if ev.Measurements != nil && lk != nil {
-					if _, err := lk.SendMeasurements(ev.At, ev.Measurements); err != nil {
+					// SendTraced with a zero ID is exactly SendMeasurements,
+					// so the untraced path is unchanged.
+					if _, err := lk.SendTraced(ev.At, ev.Trace, ev.Measurements); err != nil {
 						return err
 					}
 				}

@@ -23,6 +23,7 @@ import (
 
 	"wbsn/internal/cs"
 	"wbsn/internal/telemetry"
+	"wbsn/internal/telemetry/trace"
 )
 
 // EngineConfig sizes the worker pool.
@@ -78,6 +79,11 @@ type Job struct {
 	// stream are sequential by construction.
 	ws    *cs.WarmState
 	stats cs.SolveStats
+	// tid/tring, when set, receive the window's queue-wait and decode
+	// spans; submitNs anchors the queue wait.
+	tid      trace.ID
+	tring    *trace.Ring
+	submitNs int64
 }
 
 // Wait blocks until the job is decoded and returns the reconstructed
@@ -212,6 +218,13 @@ greedy:
 // fans results, stats and telemetry back to the individual jobs.
 func (e *Engine) runBatch(dec *cs.Decoder, batch []*Job, items []*cs.BatchItem) {
 	tm := e.tel
+	anyTraced := false
+	for _, j := range batch {
+		if j.tring != nil && j.tid != 0 {
+			anyTraced = true
+			break
+		}
+	}
 	var t0 time.Time
 	if tm != nil {
 		tm.QueueDepth.Add(int64(-len(batch)))
@@ -220,7 +233,18 @@ func (e *Engine) runBatch(dec *cs.Decoder, batch []*Job, items []*cs.BatchItem) 
 			tm.BatchWindows.Observe(uint64(len(batch)))
 			tm.BatchFillPct.Observe(uint64(100 * len(batch) / e.ecfg.Batch))
 		}
+	}
+	if tm != nil || anyTraced {
 		t0 = time.Now()
+	}
+	if anyTraced {
+		// Queue wait ends at worker pickup; record it before the solve so
+		// an early tree reader sees the window parked, not missing.
+		for _, j := range batch {
+			if j.tring != nil && j.tid != 0 {
+				j.tring.Record(j.tid, trace.KindQueueWait, j.submitNs, t0.UnixNano()-j.submitNs)
+			}
+		}
 	}
 	if len(batch) == 1 {
 		j := batch[0]
@@ -250,8 +274,10 @@ func (e *Engine) runBatch(dec *cs.Decoder, batch []*Job, items []*cs.BatchItem) 
 		}
 	}
 	var dur time.Duration
-	if tm != nil {
+	if tm != nil || anyTraced {
 		dur = time.Since(t0)
+	}
+	if tm != nil {
 		tm.BusyWorkers.Add(-1)
 		tm.DecodeNs.ObserveDuration(dur)
 	}
@@ -265,6 +291,9 @@ func (e *Engine) runBatch(dec *cs.Decoder, batch []*Job, items []*cs.BatchItem) 
 				st := j.stats
 				tm.Solver.Record(st.Iters, st.Restarts, st.EarlyExit, st.Warm, st.ColdFallback)
 			}
+		}
+		if j.tring != nil && j.tid != 0 {
+			j.tring.RecordDecode(j.tid, t0.UnixNano(), int64(dur), j.stats.Iters, len(batch))
 		}
 		close(j.done)
 	}
@@ -283,6 +312,13 @@ func (e *Engine) Submit(measurements [][]float64) (*Job, error) {
 // each window before submitting the next — DecodeWarm does exactly
 // that).
 func (e *Engine) SubmitWarm(measurements [][]float64, ws *cs.WarmState) (*Job, error) {
+	return e.SubmitCtx(measurements, ws, 0, nil)
+}
+
+// SubmitCtx is SubmitWarm carrying a window's trace context: the
+// worker records the job's queue-wait and decode spans under tid into
+// ring. A zero tid or nil ring submits untraced (identical compute).
+func (e *Engine) SubmitCtx(measurements [][]float64, ws *cs.WarmState, tid trace.ID, ring *trace.Ring) (*Job, error) {
 	if len(measurements) != e.cfg.Leads {
 		return nil, ErrGateway
 	}
@@ -292,6 +328,10 @@ func (e *Engine) SubmitWarm(measurements [][]float64, ws *cs.WarmState) (*Job, e
 		}
 	}
 	j := &Job{measurements: measurements, seq: e.seq.Add(1) - 1, done: make(chan struct{}), ws: ws}
+	if ring != nil && tid != 0 {
+		j.tid, j.tring = tid, ring
+		j.submitNs = time.Now().UnixNano()
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {

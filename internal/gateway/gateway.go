@@ -15,12 +15,14 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"time"
 
 	"wbsn/internal/core"
 	"wbsn/internal/cs"
 	"wbsn/internal/delineation"
 	"wbsn/internal/dsp"
 	"wbsn/internal/telemetry"
+	"wbsn/internal/telemetry/trace"
 )
 
 // ErrGateway is returned for configuration or packet-consistency errors.
@@ -185,6 +187,11 @@ type Receiver struct {
 	// tel, when set, receives convergence stats from the inline decode
 	// path (the engine path records through the engine's own metrics).
 	tel *telemetry.SolverMetrics
+	// trRing, when set, receives the gateway-side spans of traced
+	// windows; curTID is the trace ID of the packet currently being
+	// consumed (zero between packets).
+	trRing *trace.Ring
+	curTID trace.ID
 }
 
 // NewReceiver builds the receiver; the sensing matrix is regenerated
@@ -211,6 +218,14 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 // the given solver metrics (nil detaches). With an engine attached the
 // engine's own metrics receive the stats instead.
 func (r *Receiver) SetTelemetry(sm *telemetry.SolverMetrics) { r.tel = sm }
+
+// SetTrace attaches (or detaches, with nil) the window-trace ring this
+// receiver records its gateway-side spans into. Observation only: the
+// reconstructed signal is bit-identical either way.
+func (r *Receiver) SetTrace(tr *trace.Ring) {
+	r.trRing = tr
+	r.curTID = 0
+}
 
 // resetWarm invalidates the carried coefficients (stream boundary or
 // lost window) and counts the reset in whichever metrics sink is
@@ -239,6 +254,32 @@ func (r *Receiver) MeasurementLen() int { return r.m }
 // the encoder's measurement length — otherwise it returns ErrGateway
 // instead of decoding a malformed window into the signal.
 func (r *Receiver) ConsumePacket(measurements [][]float64) error {
+	r.curTID = 0
+	return r.consume(measurements)
+}
+
+// ConsumePacketTraced is ConsumePacket for a window carrying a trace
+// ID (it satisfies link.TracedSink structurally): the decode and
+// ordered-delivery spans are recorded under tid, completing the
+// window's span tree. encodeNs > 0 is a wire-reported node-side encode
+// duration from a remote clock; it is re-anchored to this side's clock
+// (span start = now − duration — the duration is the measurement, the
+// start only aligns the tree). Pass 0 when the node records into the
+// same ring in-process.
+func (r *Receiver) ConsumePacketTraced(measurements [][]float64, tid trace.ID, encodeNs int64) error {
+	r.curTID = tid
+	if r.trRing != nil && tid != 0 && encodeNs > 0 {
+		now := time.Now().UnixNano()
+		r.trRing.Record(tid, trace.KindEncode, now-encodeNs, encodeNs)
+	}
+	err := r.consume(measurements)
+	r.curTID = 0
+	return err
+}
+
+// consume is the shared packet path: shape check, decode, in-order
+// append.
+func (r *Receiver) consume(measurements [][]float64) error {
 	if len(measurements) != r.cfg.Leads {
 		return ErrGateway
 	}
@@ -256,14 +297,22 @@ func (r *Receiver) ConsumePacket(measurements [][]float64) error {
 }
 
 // decodeOne reconstructs a single window through whichever path is
-// active, threading the warm state and recording convergence stats.
+// active, threading the warm state, trace context and convergence
+// stats.
 func (r *Receiver) decodeOne(measurements [][]float64) ([][]float64, error) {
 	if r.engine != nil {
-		if r.ws != nil {
-			xs, _, err := r.engine.DecodeWarm(measurements, r.ws)
-			return xs, err
+		// A nil WarmState runs the identical cold compute, so one traced
+		// submit path covers warm and plain receivers alike.
+		j, err := r.engine.SubmitCtx(measurements, r.ws, r.curTID, r.trRing)
+		if err != nil {
+			return nil, err
 		}
-		return r.engine.Decode(measurements)
+		return j.Wait()
+	}
+	traced := r.trRing != nil && r.curTID != 0
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
 	}
 	var xs [][]float64
 	var st cs.SolveStats
@@ -276,13 +325,29 @@ func (r *Receiver) decodeOne(measurements [][]float64) ([][]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	if traced {
+		// Inline decode has no queue: the tree holds decode + deliver on
+		// the gateway side (batch size 1 by construction).
+		r.trRing.RecordDecode(r.curTID, t0.UnixNano(), int64(time.Since(t0)), st.Iters, 1)
+	}
 	r.tel.Record(st.Iters, st.Restarts, st.EarlyExit, st.Warm, st.ColdFallback)
 	return xs, nil
 }
 
 func (r *Receiver) appendWindow(xs [][]float64) {
+	traced := r.trRing != nil && r.curTID != 0
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	for li := range xs {
 		r.signal[li] = append(r.signal[li], xs[li]...)
+	}
+	if traced {
+		// Ordered delivery completes the window: this record publishes
+		// the finished tree to the collector's exemplar stores.
+		r.trRing.Record(r.curTID, trace.KindDeliver, t0.UnixNano(), int64(time.Since(t0)))
+		r.curTID = 0
 	}
 }
 
@@ -310,6 +375,7 @@ func (r *Receiver) Reset() {
 	for li := range r.signal {
 		r.signal[li] = r.signal[li][:0]
 	}
+	r.curTID = 0
 	r.resetWarm()
 }
 
@@ -318,6 +384,22 @@ func (r *Receiver) Reset() {
 // packets of the batch are decoded concurrently; the reconstructed
 // windows are appended in packet order either way.
 func (r *Receiver) ConsumeEvents(events []core.Event) error {
+	if r.trRing != nil {
+		// Traced consumption goes window by window so each packet's spans
+		// land under its own ID (the node records encode into the same
+		// collector in-process, so no wire-reported duration is needed).
+		// The engine, when attached, still decodes each window — only the
+		// cross-window pipelining of the untraced batch path is forgone.
+		for _, e := range events {
+			if e.Kind != core.EventPacket || e.Measurements == nil {
+				continue
+			}
+			if err := r.ConsumePacketTraced(e.Measurements, e.Trace, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if r.engine != nil {
 		var windows [][][]float64
 		for _, e := range events {

@@ -7,6 +7,7 @@ import (
 
 	"wbsn/internal/energy"
 	"wbsn/internal/telemetry"
+	"wbsn/internal/telemetry/trace"
 )
 
 // ErrLink is returned for invalid link usage or configuration.
@@ -18,6 +19,15 @@ var ErrLink = errors.New("link: invalid link configuration")
 type Sink interface {
 	ConsumePacket(measurements [][]float64) error
 	ConsumeLostPacket()
+}
+
+// TracedSink is the optional trace-aware extension of Sink: when the
+// sink implements it, windows carrying a trace ID are delivered through
+// ConsumePacketTraced so the receiver can stitch its decode spans onto
+// the window's tree. encodeNs > 0 carries a wire-reported node encode
+// duration (zero when the node records into the same ring in-process).
+type TracedSink interface {
+	ConsumePacketTraced(measurements [][]float64, tid trace.ID, encodeNs int64) error
 }
 
 // ReassemblyStats counts the receiver-side stream repair work.
@@ -48,7 +58,10 @@ const reorderWindow = 32
 // implied by the buffer bound — are zero-filled so the reconstructed
 // signal keeps its sample alignment.
 type Reassembler struct {
-	sink    Sink
+	sink Sink
+	// tsink is sink's TracedSink view when it has one (resolved once at
+	// construction; the type assertion stays off the delivery path).
+	tsink   TracedSink
 	next    uint32
 	pending map[uint32]Packet
 	stats   ReassemblyStats
@@ -57,7 +70,9 @@ type Reassembler struct {
 // NewReassembler builds a reassembler expecting sequence number 0
 // first.
 func NewReassembler(sink Sink) *Reassembler {
-	return &Reassembler{sink: sink, pending: make(map[uint32]Packet)}
+	ra := &Reassembler{sink: sink, pending: make(map[uint32]Packet)}
+	ra.tsink, _ = sink.(TracedSink)
+	return ra
 }
 
 // Stats returns the accumulated reassembly statistics.
@@ -127,7 +142,13 @@ func (ra *Reassembler) Flush() error {
 }
 
 func (ra *Reassembler) deliver(p Packet) error {
-	if err := ra.sink.ConsumePacket(p.Measurements); err != nil {
+	var err error
+	if p.Trace != 0 && ra.tsink != nil {
+		err = ra.tsink.ConsumePacketTraced(p.Measurements, p.Trace, p.EncodeNs)
+	} else {
+		err = ra.sink.ConsumePacket(p.Measurements)
+	}
+	if err != nil {
 		return err
 	}
 	ra.stats.Delivered++
@@ -234,6 +255,17 @@ func (r Report) DeliveryRatio() float64 {
 // baseline.
 func (r Report) RetransmitEnergyJ() float64 { return r.EnergyJ - r.IdealEnergyJ }
 
+// tidRingSize bounds the in-flight seq→trace-ID map; it must exceed
+// the reassembler's reorderWindow so any frame the channel can still
+// release finds its ID.
+const tidRingSize = 64
+
+// tidEntry maps one in-flight sequence number to its trace identity.
+type tidEntry struct {
+	seq uint32
+	id  trace.ID
+}
+
 // Link ties a sender-side ARQ, a Channel and a receiver-side
 // Reassembler into one simulated radio hop.
 type Link struct {
@@ -247,10 +279,43 @@ type Link struct {
 	// registry and prices every packet into the energy histograms. Pure
 	// observation: attaching it never changes delivery behaviour.
 	tel *telemetry.LinkMetrics
+	// trRing, when set, receives the per-window link span. Trace IDs are
+	// never put on the air here — a trace extension would lengthen the
+	// frame and change the bit-error channel's corruption odds, breaking
+	// bit-neutrality — so tids ride this in-process map keyed by
+	// sequence number and are restored onto decoded frames.
+	trRing *trace.Ring
+	tids   [tidRingSize]tidEntry
 }
 
 // SetTelemetry attaches (or detaches, with nil) the link metric family.
 func (l *Link) SetTelemetry(tm *telemetry.LinkMetrics) { l.tel = tm }
+
+// SetTrace attaches (or detaches, with nil) the window-trace ring the
+// link records its ARQ spans into. Observation only: the wire frames
+// and delivery outcomes are byte-identical either way.
+func (l *Link) SetTrace(r *trace.Ring) { l.trRing = r }
+
+// traceFor returns the trace identity of an in-flight sequence number
+// (zero entry when untraced or already recycled).
+func (l *Link) traceFor(seq uint32) tidEntry {
+	e := l.tids[seq%tidRingSize]
+	if e.id == 0 || e.seq != seq {
+		return tidEntry{}
+	}
+	return e
+}
+
+// restoreTrace re-stamps a decoded wire frame with its in-process trace
+// identity before it reaches the reassembler.
+func (l *Link) restoreTrace(rx *Packet) {
+	if l.trRing == nil || rx.Trace != 0 {
+		return
+	}
+	if e := l.traceFor(rx.Seq); e.id != 0 {
+		rx.Trace, rx.EncodeNs = e.id, 0
+	}
+}
 
 // NewLink builds a link over the given channel delivering to sink.
 func NewLink(cfg ARQConfig, ch *Channel, sink Sink) (*Link, error) {
@@ -275,18 +340,38 @@ func NewLink(cfg ARQConfig, ch *Channel, sink Sink) (*Link, error) {
 // zero-filled the gap); the error channel is reserved for sink
 // failures.
 func (l *Link) SendMeasurements(windowStart int, measurements [][]float64) (bool, error) {
+	return l.send(windowStart, 0, measurements)
+}
+
+// SendTraced is SendMeasurements for a window carrying a trace ID: the
+// ARQ span (attempts, radio energy) is recorded under tid into the
+// attached trace ring. The wire frames stay v1 — byte-identical to an
+// untraced send — so tracing cannot perturb the channel's per-bit
+// corruption odds; the tid travels in-process and is restored onto
+// decoded frames before reassembly.
+func (l *Link) SendTraced(windowStart int, tid trace.ID, measurements [][]float64) (bool, error) {
+	return l.send(windowStart, tid, measurements)
+}
+
+func (l *Link) send(windowStart int, tid trace.ID, measurements [][]float64) (bool, error) {
 	p := Packet{Seq: l.seq, WindowStart: uint32(windowStart), Measurements: measurements}
 	l.seq++
 	frame, err := Encode(p)
 	if err != nil {
 		return false, err
 	}
+	traced := l.trRing != nil && tid != 0
+	if traced {
+		l.tids[p.Seq%tidRingSize] = tidEntry{seq: p.Seq, id: tid}
+	}
 	l.report.Packets++
 	l.report.IdealEnergyJ += l.cfg.Radio.TxEnergyJ(len(frame))
 	var t0 time.Time
+	if l.tel != nil || traced {
+		t0 = time.Now()
+	}
 	if tm := l.tel; tm != nil {
 		tm.Packets.Inc()
-		t0 = time.Now()
 	}
 	packetEnergyJ := 0.0
 	attempts := 0
@@ -316,12 +401,20 @@ func (l *Link) SendMeasurements(windowStart int, measurements [][]float64) (bool
 				tm.FramesGood.Inc()
 			}
 		}
+		out := l.ch.Transmit(frame)
+		if traced && len(out) > 0 {
+			// The offer below can complete the window's delivery (and
+			// publish its tree), so the cumulative link span must be in the
+			// ring first. Later attempts simply overwrite it.
+			l.trRing.RecordLink(tid, t0.UnixNano(), int64(time.Since(t0)), attempts, uint64(packetEnergyJ*1e9))
+		}
 		acked := false
-		for _, d := range l.ch.Transmit(frame) {
+		for _, d := range out {
 			rx, err := Decode(d)
 			if err != nil {
 				continue // corrupted or stale garbage: no ack
 			}
+			l.restoreTrace(&rx)
 			if err := l.ra.Offer(rx); err != nil {
 				return false, err
 			}
@@ -346,6 +439,11 @@ func (l *Link) SendMeasurements(windowStart int, measurements [][]float64) (bool
 		}
 	}
 	l.report.Lost++
+	if traced {
+		// Final span for a window the sender gave up on — it may still be
+		// released by channel reordering and delivered late.
+		l.trRing.RecordLink(tid, t0.UnixNano(), int64(time.Since(t0)), attempts, uint64(packetEnergyJ*1e9))
+	}
 	l.finishPacket(windowStart, t0, packetEnergyJ, attempts, false)
 	if err := l.ra.DeclareLost(p.Seq); err != nil {
 		return false, err
@@ -379,6 +477,7 @@ func (l *Link) Close() error {
 		if err != nil {
 			continue
 		}
+		l.restoreTrace(&rx)
 		if err := l.ra.Offer(rx); err != nil {
 			return err
 		}

@@ -28,6 +28,8 @@ import (
 	"errors"
 	"hash/crc32"
 	"math"
+
+	"wbsn/internal/telemetry/trace"
 )
 
 // Codec errors.
@@ -40,13 +42,20 @@ var (
 	ErrCRC = errors.New("link: packet CRC mismatch")
 )
 
-// Wire-format constants.
+// Wire-format constants. Version 1 is the original frame; version 2
+// inserts a 12-byte trace extension — trace id (8) plus the node-side
+// encode duration in µs (4) — between the header and the payload.
+// Encode emits v2 only for traced packets, so untraced traffic is
+// byte-identical to version 1 and old decoders keep working on it;
+// Decode accepts both versions.
 const (
-	packetMagic0  = 'W'
-	packetMagic1  = 'L'
-	packetVersion = 1
-	headerLen     = 14 // magic(2) version(1) leads(1) seq(4) window(4) mlen(2)
-	crcLen        = 4
+	packetMagic0        = 'W'
+	packetMagic1        = 'L'
+	packetVersion       = 1
+	packetVersionTraced = 2
+	headerLen           = 14 // magic(2) version(1) leads(1) seq(4) window(4) mlen(2)
+	traceExtLen         = 12 // trace(8) encode_us(4)
+	crcLen              = 4
 	// MaxLeads bounds the lead count a packet may carry.
 	MaxLeads = 64
 	// MaxMeasurements bounds the per-lead measurement count.
@@ -65,6 +74,16 @@ type Packet struct {
 	WindowStart uint32
 	// Measurements holds one equal-length vector per lead.
 	Measurements [][]float64
+	// Trace, when nonzero, is the window's end-to-end trace ID and
+	// selects the v2 frame format. The ARQ path never sets it on the
+	// wire (trace bytes would change the frame length and with it the
+	// bit-error channel's corruption odds — see Link.SendTraced); the
+	// TCP transport embeds it freely.
+	Trace trace.ID
+	// EncodeNs is the node-side encode span duration carried with the
+	// trace (µs resolution on the wire), letting the gateway reconstruct
+	// the remote encode span without a shared clock.
+	EncodeNs int64
 }
 
 // Encode serialises the packet: a fixed header, lead-major float32
@@ -83,7 +102,11 @@ func Encode(p Packet) ([]byte, error) {
 			return nil, ErrCodec
 		}
 	}
-	buf := make([]byte, headerLen+4*leads*mlen+crcLen)
+	ext := 0
+	if p.Trace != 0 {
+		ext = traceExtLen
+	}
+	buf := make([]byte, headerLen+ext+4*leads*mlen+crcLen)
 	buf[0] = packetMagic0
 	buf[1] = packetMagic1
 	buf[2] = packetVersion
@@ -92,6 +115,12 @@ func Encode(p Packet) ([]byte, error) {
 	binary.BigEndian.PutUint32(buf[8:], p.WindowStart)
 	binary.BigEndian.PutUint16(buf[12:], uint16(mlen))
 	off := headerLen
+	if ext > 0 {
+		buf[2] = packetVersionTraced
+		binary.BigEndian.PutUint64(buf[off:], uint64(p.Trace))
+		binary.BigEndian.PutUint32(buf[off+8:], satMicros(p.EncodeNs))
+		off += ext
+	}
 	for _, l := range p.Measurements {
 		for _, v := range l {
 			binary.BigEndian.PutUint32(buf[off:], math.Float32bits(float32(v)))
@@ -110,7 +139,15 @@ func Decode(b []byte) (Packet, error) {
 	if len(b) < headerLen+crcLen {
 		return Packet{}, ErrCodec
 	}
-	if b[0] != packetMagic0 || b[1] != packetMagic1 || b[2] != packetVersion {
+	if b[0] != packetMagic0 || b[1] != packetMagic1 {
+		return Packet{}, ErrCodec
+	}
+	ext := 0
+	switch b[2] {
+	case packetVersion:
+	case packetVersionTraced:
+		ext = traceExtLen
+	default:
 		return Packet{}, ErrCodec
 	}
 	leads := int(b[3])
@@ -118,7 +155,7 @@ func Decode(b []byte) (Packet, error) {
 	if leads < 1 || leads > MaxLeads || mlen < 1 || mlen > MaxMeasurements {
 		return Packet{}, ErrCodec
 	}
-	want := headerLen + 4*leads*mlen + crcLen
+	want := headerLen + ext + 4*leads*mlen + crcLen
 	if len(b) != want {
 		return Packet{}, ErrCodec
 	}
@@ -132,6 +169,17 @@ func Decode(b []byte) (Packet, error) {
 		Measurements: make([][]float64, leads),
 	}
 	off := headerLen
+	if ext > 0 {
+		p.Trace = trace.ID(binary.BigEndian.Uint64(b[off:]))
+		// A v2 frame carrying the reserved zero trace ID is malformed:
+		// untraced packets canonically encode as v1 (keeps decode→encode
+		// an identity for the fuzz harness).
+		if p.Trace == 0 {
+			return Packet{}, ErrCodec
+		}
+		p.EncodeNs = int64(binary.BigEndian.Uint32(b[off+8:])) * 1000
+		off += ext
+	}
 	for li := range p.Measurements {
 		l := make([]float64, mlen)
 		for i := range l {
@@ -143,8 +191,23 @@ func Decode(b []byte) (Packet, error) {
 	return p, nil
 }
 
-// FrameBytes returns the encoded size of a packet with the given
-// geometry — what the radio model charges per attempt.
+// FrameBytes returns the encoded size of an untraced (v1) packet with
+// the given geometry — what the radio model charges per attempt. The
+// ARQ path always puts v1 frames on the air, so this is the charging
+// geometry regardless of tracing.
 func FrameBytes(leads, measurementsPerLead int) int {
 	return headerLen + 4*leads*measurementsPerLead + crcLen
+}
+
+// satMicros converts a nanosecond duration to saturating uint32
+// microseconds (the wire resolution of the v2 encode-duration field).
+func satMicros(ns int64) uint32 {
+	if ns <= 0 {
+		return 0
+	}
+	us := ns / 1000
+	if us > 0xffffffff {
+		return 0xffffffff
+	}
+	return uint32(us)
 }

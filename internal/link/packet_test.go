@@ -103,6 +103,14 @@ func FuzzPacketDecode(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(frame)
+	traced := seed
+	traced.Trace = 0x0000000300000003
+	traced.EncodeNs = 42_000
+	tframe, err := Encode(traced)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tframe)
 	f.Add([]byte{})
 	f.Add([]byte{'W', 'L', 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1})
 	short := append([]byte(nil), frame...)
@@ -127,6 +135,9 @@ func FuzzPacketDecode(f *testing.F) {
 		}
 		if q.Seq != p.Seq || q.WindowStart != p.WindowStart || len(q.Measurements) != len(p.Measurements) {
 			t.Fatal("round-trip header mismatch")
+		}
+		if q.Trace != p.Trace || q.EncodeNs != p.EncodeNs {
+			t.Fatalf("round-trip trace mismatch: %v/%d vs %v/%d", p.Trace, p.EncodeNs, q.Trace, q.EncodeNs)
 		}
 		for li := range p.Measurements {
 			for i := range p.Measurements[li] {

@@ -1,0 +1,248 @@
+package netgw
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wbsn/internal/telemetry"
+)
+
+// TestNetGatewayTraceContinuity is the tentpole's cross-network bar:
+// traced loadgen traffic arrives as version-2 link frames, and every
+// window tree the collector publishes must stitch the node-side encode
+// span (rebuilt from the wire-carried duration) to the gateway-side
+// ingest → queue-wait → decode → deliver chain.
+func TestNetGatewayTraceContinuity(t *testing.T) {
+	srv, set := startServer(t, nil)
+	cfg := testLoadgen(srv.Addr(), 4, 2)
+	cfg.Trace = true
+	res, err := RunLoadgen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 || res.Mismatches != 0 {
+		t.Fatalf("traced run must stay bit-identical: %s", res)
+	}
+	snap := set.Trace.Snapshot()
+	if snap.Recorded == 0 || len(snap.Recent) == 0 {
+		t.Fatalf("no traces collected (recorded %d, recent %d)", snap.Recorded, len(snap.Recent))
+	}
+	for i, tr := range append(snap.Recent, snap.Slowest...) {
+		node := map[string]bool{}
+		for _, sp := range tr.Node {
+			node[sp.Kind] = true
+		}
+		gw := map[string]bool{}
+		for _, sp := range tr.Gateway {
+			gw[sp.Kind] = true
+		}
+		if !node["encode"] {
+			t.Errorf("tree %d (%s): node-side encode span missing: %v", i, tr.Trace, node)
+		}
+		if !gw["ingest"] || !gw["queue_wait"] || !gw["decode"] || !gw["deliver"] {
+			t.Errorf("tree %d (%s): gateway side incomplete: %v", i, tr.Trace, gw)
+		}
+		if tr.Session == 0 {
+			t.Errorf("tree %d (%s): zero session id", i, tr.Trace)
+		}
+	}
+}
+
+// dialSession opens a raw client connection and completes the Hello
+// handshake for stream id.
+func dialSession(t *testing.T, addr string, id uint64) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, frameHello, helloPayload(id)); err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if typ, _, _, err := readFrame(conn, nil); err != nil || typ != frameWelcome {
+		conn.Close()
+		t.Fatalf("handshake: type %#x err %v", typ, err)
+	}
+	return conn
+}
+
+// TestNetGatewayControlPlane exercises the real server behind the
+// telemetry HTTP mux: /sessions reflects live session stats, and a
+// POST evict is observable on the very next poll.
+func TestNetGatewayControlPlane(t *testing.T) {
+	srv, set := startServer(t, nil)
+
+	// Populate finished sessions with real decode traffic first.
+	res, err := RunLoadgen(testLoadgen(srv.Addr(), 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 || res.Mismatches != 0 {
+		t.Fatalf("seed run: %s", res)
+	}
+	// Then attach one idle live session.
+	conn := dialSession(t, srv.Addr(), 4242)
+	defer conn.Close()
+
+	reg := telemetry.NewRegistry()
+	hts := httptest.NewServer(telemetry.HandlerOpts(reg, telemetry.HTTPOptions{
+		Control: srv,
+		Trace:   set.Trace,
+	}))
+	defer hts.Close()
+
+	getSessions := func() map[uint64]telemetry.SessionInfo {
+		t.Helper()
+		resp, err := http.Get(hts.URL + "/sessions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Draining bool                    `json:"draining"`
+			Sessions []telemetry.SessionInfo `json:"sessions"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[uint64]telemetry.SessionInfo, len(body.Sessions))
+		for _, s := range body.Sessions {
+			out[s.ID] = s
+		}
+		return out
+	}
+
+	// The attach is queued on the actor's control channel; poll briefly
+	// for the attached flag.
+	var live telemetry.SessionInfo
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ss := getSessions()
+		if len(ss) != 3 {
+			t.Fatalf("sessions listed %d, want 3", len(ss))
+		}
+		live = ss[4242]
+		if live.ID == 4242 && live.Attached {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live session never showed attached: %+v", live)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if live.Finished || live.Delivered != 0 {
+		t.Errorf("idle session stats off: %+v", live)
+	}
+	var finished int
+	for id, s := range getSessions() {
+		if id == 4242 {
+			continue
+		}
+		if !s.Finished || s.Delivered == 0 || s.SeqHighWater == 0 {
+			t.Errorf("finished session %d stats off: %+v", id, s)
+		}
+		if s.DecodeNsP50 == 0 || s.DecodeNsP99 == 0 {
+			t.Errorf("session %d decode quantiles empty: %+v", id, s)
+		}
+		finished++
+	}
+	if finished != 2 {
+		t.Errorf("finished sessions %d, want 2", finished)
+	}
+
+	// Evict the live session over HTTP: the removal must be visible on
+	// the immediately following poll.
+	resp, err := http.Post(hts.URL+"/sessions/4242/evict", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evict status %d", resp.StatusCode)
+	}
+	if ss := getSessions(); len(ss) != 2 {
+		t.Fatalf("evicted session still listed: %v", ss)
+	} else if _, ok := ss[4242]; ok {
+		t.Fatal("session 4242 survived its eviction")
+	}
+	if got := set.NetGW.Evictions.Value(); got != 1 {
+		t.Errorf("evictions counter %d, want 1", got)
+	}
+	// Re-evicting is a 404.
+	resp, err = http.Post(hts.URL+"/sessions/4242/evict", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double evict status %d, want 404", resp.StatusCode)
+	}
+	// The actor closes the evicted connection; the client sees EOF.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("evicted connection still open")
+	}
+}
+
+// TestNetGatewayLifecycleCounters pins the netgw.* session-lifecycle
+// family: attaches on every handshake, resume hits on reconnects that
+// land on real progress, idle cuts on deadline-cut connections.
+func TestNetGatewayLifecycleCounters(t *testing.T) {
+	srv, set := startServer(t, func(c *ServerConfig) {
+		c.IdleTimeout = 200 * time.Millisecond
+		c.AckEvery = 1
+	})
+	tm := set.NetGW
+
+	// One traced record's frames to replay by hand.
+	lc := testLoadgen(srv.Addr(), 1, 1)
+	tr, err := buildTraffic(lc.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn := dialSession(t, srv.Addr(), 9001)
+	if got := tm.Attaches.Value(); got != 1 {
+		t.Fatalf("attaches after first dial %d, want 1", got)
+	}
+	if tm.ResumeHits.Value() != 0 {
+		t.Fatal("resume hit without progress")
+	}
+	// Deliver one window and wait for its ack so the session holds
+	// progress.
+	if err := writeFrame(conn, frameData, tr.frames[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if typ, _, _, err := readFrame(conn, nil); err != nil || typ != frameAck {
+		t.Fatalf("ack: type %#x err %v", typ, err)
+	}
+	conn.Close()
+
+	// Redial the same stream: the attach must count as a resume hit.
+	conn2 := dialSession(t, srv.Addr(), 9001)
+	defer conn2.Close()
+	if got := tm.Attaches.Value(); got != 2 {
+		t.Errorf("attaches after redial %d, want 2", got)
+	}
+	if got := tm.ResumeHits.Value(); got != 1 {
+		t.Errorf("resume hits after redial %d, want 1", got)
+	}
+
+	// Stall past the idle deadline: the reader cuts the connection and
+	// counts it.
+	deadline := time.Now().Add(5 * time.Second)
+	for tm.IdleCuts.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle cut never counted")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

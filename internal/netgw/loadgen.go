@@ -11,6 +11,7 @@ import (
 	"wbsn/internal/ecg"
 	"wbsn/internal/gateway"
 	"wbsn/internal/link"
+	"wbsn/internal/telemetry/trace"
 )
 
 // ErrLoadgen is returned for invalid load-generator configurations.
@@ -72,6 +73,14 @@ type LoadgenConfig struct {
 	// Verify decodes each distinct record once in-process and compares
 	// every stream's server digest against it — the bit-identity check.
 	Verify bool
+	// Trace link-encodes the replay set as version-2 (traced) frames:
+	// each window carries its node-minted trace ID and encode duration,
+	// so the server's /traces trees span both sides of the wire. The
+	// float payload — and therefore every digest — is unchanged.
+	// Streams replaying the same record reuse its trace IDs; IDs only
+	// need to be unique within a session, and every (stream, record)
+	// pass is its own session.
+	Trace bool
 	// Client is the per-stream sender template (Addr, StreamID and
 	// JitterSeed are filled per stream); its Faults field arms the
 	// transport fault injector.
@@ -151,11 +160,21 @@ func buildTraffic(c LoadgenConfig) (*traffic, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A discard collector gives the node streams a ring to mint trace
+	// IDs (and measure encode durations) into; nothing reads it — the
+	// server side rebuilds the node spans from the wire-carried fields.
+	var discard *trace.Collector
+	if c.Trace {
+		discard = trace.New(64, 1, 1)
+	}
 	for r := 0; r < c.Records; r++ {
 		rec := ecg.Generate(ecg.Config{Seed: c.Seed + int64(r), Duration: c.DurationS})
 		stream, err := node.NewStream()
 		if err != nil {
 			return nil, err
+		}
+		if discard != nil {
+			stream.SetTrace(discard.Session(uint64(r)), uint32(r)+1)
 		}
 		chunk := make([][]float64, len(rec.Leads))
 		for li := range chunk {
@@ -178,7 +197,11 @@ func buildTraffic(c LoadgenConfig) (*traffic, error) {
 				continue
 			}
 			seq := uint32(len(frames))
-			f, err := link.Encode(link.Packet{Seq: seq, WindowStart: uint32(e.At), Measurements: e.Measurements})
+			p := link.Packet{Seq: seq, WindowStart: uint32(e.At), Measurements: e.Measurements}
+			if c.Trace {
+				p.Trace, p.EncodeNs = e.Trace, e.EncodeNs
+			}
+			f, err := link.Encode(p)
 			if err != nil {
 				return nil, err
 			}

@@ -10,6 +10,7 @@ import (
 	"wbsn/internal/gateway"
 	"wbsn/internal/link"
 	"wbsn/internal/telemetry"
+	"wbsn/internal/telemetry/trace"
 )
 
 // ErrServer is returned for invalid server configuration or use.
@@ -92,6 +93,9 @@ type Server struct {
 	ln     net.Listener
 	engine *gateway.Engine
 	tel    *telemetry.NetGWMetrics
+	// trc is the end-to-end window-trace collector (nil without
+	// telemetry); each session records into its own per-stream ring.
+	trc *trace.Collector
 
 	mu       sync.Mutex
 	sessions map[uint64]*session
@@ -119,6 +123,7 @@ func Serve(cfg ServerConfig) (*Server, error) {
 	}
 	if c.Telemetry != nil {
 		s.tel = c.Telemetry.NetGW
+		s.trc = c.Telemetry.Trace
 	}
 	if c.EngineWorkers >= 0 {
 		ecfg := gateway.EngineConfig{Workers: c.EngineWorkers, Batch: c.EngineBatch, BatchWait: c.EngineBatchWait}
@@ -233,6 +238,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			if errors.Is(err, ErrFrame) {
 				s.protoErr("framing")
+			} else if ne := net.Error(nil); errors.As(err, &ne) && ne.Timeout() {
+				// The deadline fired mid-frame or on an idle line: a
+				// slowloris-paced or dead connection was cut.
+				if tm := s.tel; tm != nil {
+					tm.IdleCuts.Inc()
+				}
 			}
 			break
 		}
@@ -328,6 +339,14 @@ func (s *Server) attach(id uint64, conn net.Conn) (*session, bool, error) {
 			sess = fresh
 		}
 	}
+	if tm := s.tel; tm != nil {
+		tm.Attaches.Inc()
+		if ok && sess.stats.seqHW.Load() > 0 {
+			// Reconnected to a session holding real progress: the redial
+			// resumed mid-record instead of restarting.
+			tm.ResumeHits.Inc()
+		}
+	}
 	s.sendAttach(sess, conn)
 	return sess, ok, nil
 }
@@ -350,6 +369,9 @@ func (s *Server) removeSession(id uint64) {
 		tm.SessionsActive.Set(int64(len(s.sessions)))
 	}
 	s.mu.Unlock()
+	if s.trc != nil {
+		s.trc.DropSession(id)
+	}
 }
 
 // getReceiver pops a pooled receiver or builds one mirroring the
@@ -379,6 +401,7 @@ func (s *Server) getReceiver() (*gateway.Receiver, error) {
 // so steady-state session churn reuses decoder state instead of
 // regenerating the sensing matrix per connection.
 func (s *Server) putReceiver(rx *gateway.Receiver) {
+	rx.SetTrace(nil)
 	rx.Reset()
 	s.mu.Lock()
 	s.freeRx = append(s.freeRx, rx)
@@ -425,3 +448,56 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Close stops the server, waiting indefinitely for the drain to
 // complete.
 func (s *Server) Close() error { return s.Shutdown(context.Background()) }
+
+// The Server is the telemetry endpoint's ControlPlane: /sessions and
+// /sessions/{id}/evict are answered from the session table below.
+var _ telemetry.ControlPlane = (*Server)(nil)
+
+// ControlSessions snapshots the live session table. Stats are atomics
+// updated by the session actors, so the snapshot never blocks the data
+// path.
+func (s *Server) ControlSessions() []telemetry.SessionInfo {
+	s.mu.Lock()
+	out := make([]telemetry.SessionInfo, 0, len(s.sessions))
+	for id, sess := range s.sessions {
+		out = append(out, sess.stats.info(id))
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// EvictSession removes session id from the table synchronously — the
+// next ControlSessions call no longer lists it — and signals its actor
+// to exit. Reports whether the session existed. The stream id is not
+// banned: a client that redials afterwards starts a fresh session.
+func (s *Server) EvictSession(id uint64) bool {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+		if tm := s.tel; tm != nil {
+			tm.SessionsActive.Set(int64(len(s.sessions)))
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if s.trc != nil {
+		s.trc.DropSession(id)
+	}
+	if tm := s.tel; tm != nil {
+		tm.Evictions.Inc()
+	}
+	close(sess.evict)
+	s.logf("session %d: evicted", id)
+	return true
+}
+
+// Draining reports whether a graceful shutdown is in progress (drives
+// /healthz).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

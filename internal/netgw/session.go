@@ -8,6 +8,7 @@ import (
 	"wbsn/internal/gateway"
 	"wbsn/internal/link"
 	"wbsn/internal/telemetry"
+	"wbsn/internal/telemetry/trace"
 )
 
 // A session is one stream's actor: it owns the stream's
@@ -28,6 +29,10 @@ import (
 // client's fin request.
 type sessionMsg struct {
 	pkt link.Packet
+	// rxNs is the reader-side arrival timestamp of a traced packet
+	// (UnixNano; zero when untraced). The actor turns the inbox dwell
+	// into the window's ingest span.
+	rxNs int64
 	// fin marks an end-of-record request carrying the client's total
 	// window count instead of a packet.
 	fin      bool
@@ -49,14 +54,62 @@ type sessionCtl struct {
 	nudge bool
 }
 
+// sessionStats is the control-plane view of a session, updated with
+// atomics because the HTTP goroutine reads it while the actor (and the
+// reader) write. The embedded histogram is the lock-free telemetry one,
+// so per-session decode-latency quantiles cost four atomic ops per
+// window.
+type sessionStats struct {
+	startedNs  int64
+	seqHW      atomic.Uint32
+	delivered  atomic.Uint64
+	rewinds    atomic.Uint64
+	sheds      atomic.Uint64
+	corrupt    atomic.Uint64
+	reconnects atomic.Uint64
+	attached   atomic.Bool
+	finished   atomic.Bool
+	decodeNs   telemetry.Histogram
+}
+
+// info assembles the /sessions row.
+func (st *sessionStats) info(id uint64) telemetry.SessionInfo {
+	h := st.decodeNs.Snapshot()
+	return telemetry.SessionInfo{
+		ID:            id,
+		StartedUnixNs: st.startedNs,
+		Attached:      st.attached.Load(),
+		Finished:      st.finished.Load(),
+		SeqHighWater:  st.seqHW.Load(),
+		Delivered:     st.delivered.Load(),
+		Rewinds:       st.rewinds.Load(),
+		Sheds:         st.sheds.Load(),
+		Corrupt:       st.corrupt.Load(),
+		Reconnects:    st.reconnects.Load(),
+		DecodeNsP50:   h.P50,
+		DecodeNsP99:   h.P99,
+	}
+}
+
 type session struct {
 	id  uint64
 	srv *Server
 	rx  *gateway.Receiver
 	ra  *link.Reassembler
+	// tr is this stream's window-trace ring (nil when the server has no
+	// trace collector).
+	tr *trace.Ring
 
 	inbox chan sessionMsg
 	ctl   chan sessionCtl
+	// evict is closed by the control plane after it has removed the
+	// session from the server table; the actor exits at its next select.
+	evict chan struct{}
+
+	stats sessionStats
+	// everAttached distinguishes the first attach from reconnects
+	// (actor-owned).
+	everAttached bool
 
 	// conn is the currently attached connection (actor-owned).
 	conn net.Conn
@@ -85,6 +138,12 @@ func newSession(srv *Server, id uint64) (*session, error) {
 		rx:    rx,
 		inbox: make(chan sessionMsg, srv.cfg.InboxDepth),
 		ctl:   make(chan sessionCtl, 4),
+		evict: make(chan struct{}),
+	}
+	s.stats.startedNs = time.Now().UnixNano()
+	if srv.trc != nil {
+		s.tr = srv.trc.Session(id)
+		rx.SetTrace(s.tr)
 	}
 	s.ra = link.NewReassembler(rx)
 	return s, nil
@@ -119,6 +178,14 @@ func (s *session) run() {
 			s.handleMsg(m)
 		case <-s.srv.drainCh:
 			s.drainAndExit()
+			return
+		case <-s.evict:
+			// The control plane already removed us from the session table;
+			// drop the connection and recycle the receiver. Frames still in
+			// the inbox are discarded — eviction is an operator's kill
+			// switch, not a graceful drain.
+			s.detachConn()
+			s.srv.putReceiver(s.rx)
 			return
 		case <-s.ttl.C:
 			// No traffic for a full TTL: a detached (or finished) session
@@ -157,6 +224,7 @@ func (s *session) handleCtl(c sessionCtl) {
 	s.touch()
 	if c.nudge {
 		if s.rewind.Swap(false) {
+			s.stats.rewinds.Add(1)
 			if tm := s.srv.tel; tm != nil {
 				tm.Rewinds.Inc()
 			}
@@ -175,6 +243,11 @@ func (s *session) handleCtl(c sessionCtl) {
 	// dial is the one the living client made.
 	s.detachConn()
 	s.conn = c.conn
+	s.stats.attached.Store(true)
+	if s.everAttached {
+		s.stats.reconnects.Add(1)
+	}
+	s.everAttached = true
 	s.writeFrame(frameWelcome, welcomePayload(s.id, s.ra.NextSeq()))
 }
 
@@ -183,6 +256,7 @@ func (s *session) detachConn() {
 		s.conn.Close()
 		s.conn = nil
 	}
+	s.stats.attached.Store(false)
 }
 
 func (s *session) handleMsg(m sessionMsg) {
@@ -200,6 +274,15 @@ func (s *session) handleMsg(m sessionMsg) {
 	if h := s.srv.cfg.poison; h != nil {
 		h(s.id, m.pkt)
 	}
+	var t0 time.Time
+	if m.pkt.Trace != 0 && s.tr != nil && m.rxNs > 0 {
+		// The ingest span is the frame's dwell between the reader's
+		// handoff and the actor picking it up — inbox wait made visible.
+		t0 = time.Now()
+		s.tr.Record(m.pkt.Trace, trace.KindIngest, m.rxNs, t0.UnixNano()-m.rxNs)
+	} else {
+		t0 = time.Now()
+	}
 	if err := s.ra.Offer(m.pkt); err != nil {
 		// The packet shape disagrees with the configured decoder
 		// (gateway.ErrGateway): this client speaks the wrong geometry.
@@ -211,6 +294,9 @@ func (s *session) handleMsg(m sessionMsg) {
 		s.detachConn()
 		return
 	}
+	s.stats.decodeNs.ObserveDuration(time.Since(t0))
+	s.stats.seqHW.Store(s.ra.NextSeq())
+	s.stats.delivered.Add(1)
 	if tm := s.srv.tel; tm != nil {
 		tm.Delivered.Inc()
 	}
@@ -219,6 +305,7 @@ func (s *session) handleMsg(m sessionMsg) {
 	// actor notices it; otherwise ack cumulatively every AckEvery
 	// deliveries and whenever the inbox goes idle (tail flush).
 	if s.rewind.Swap(false) {
+		s.stats.rewinds.Add(1)
 		if tm := s.srv.tel; tm != nil {
 			tm.Rewinds.Inc()
 		}
@@ -242,6 +329,7 @@ func (s *session) handleFin(total uint32) {
 			// everything (a shed tail, or a fin that raced a rewind).
 			// Send the resume point instead of a digest.
 			if s.rewind.Swap(false) {
+				s.stats.rewinds.Add(1)
 				if tm := s.srv.tel; tm != nil {
 					tm.Rewinds.Inc()
 				}
@@ -267,6 +355,7 @@ func (s *session) handleFin(total uint32) {
 			Duplicates: st.Duplicates,
 		}
 		s.finished = true
+		s.stats.finished.Store(true)
 		if tm := s.srv.tel; tm != nil {
 			tm.SessionsFinished.Inc()
 		}
@@ -287,6 +376,8 @@ func (s *session) drainAndExit() {
 			s.noteInboxPop()
 			if !m.fin && !s.finished {
 				if err := s.ra.Offer(m.pkt); err == nil {
+					s.stats.seqHW.Store(s.ra.NextSeq())
+					s.stats.delivered.Add(1)
 					if tm := s.srv.tel; tm != nil {
 						tm.Delivered.Inc()
 					}
@@ -319,12 +410,17 @@ func (s *session) writeFrame(typ byte, payload []byte) {
 // actor to send a rewind ack so the client's go-back-N recovers the
 // loss.
 func (s *session) offerData(pkt link.Packet, tm *telemetry.NetGWMetrics) {
+	m := sessionMsg{pkt: pkt}
+	if pkt.Trace != 0 && s.tr != nil {
+		m.rxNs = time.Now().UnixNano()
+	}
 	select {
-	case s.inbox <- sessionMsg{pkt: pkt}:
+	case s.inbox <- m:
 		if tm != nil {
 			tm.InboxDepth.Add(1)
 		}
 	default:
+		s.stats.sheds.Add(1)
 		if tm != nil {
 			tm.FramesShed.Inc()
 		}
@@ -359,6 +455,7 @@ func (s *session) offerFin(total uint32, tm *telemetry.NetGWMetrics) {
 // noteCorrupt is called by the reader when the link CRC rejects a data
 // frame: the frame is dropped and the actor owes the client a rewind.
 func (s *session) noteCorrupt(tm *telemetry.NetGWMetrics) {
+	s.stats.corrupt.Add(1)
 	if tm != nil {
 		tm.FramesCorrupt.Inc()
 	}

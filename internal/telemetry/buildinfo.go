@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the binary's provenance as served by /buildinfo and
+// printed at startup: the Go toolchain plus whatever VCS stamping the
+// build embedded (absent for plain `go test` binaries).
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	// CommitTime is the committer timestamp of Revision (RFC 3339).
+	CommitTime string `json:"commit_time,omitempty"`
+	// Dirty marks a build from a modified working tree.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// ReadBuild extracts the build info embedded in the running binary.
+func ReadBuild() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Module = info.Main.Path
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.time":
+			bi.CommitTime = s.Value
+		case "vcs.modified":
+			bi.Dirty = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// String renders the build info as a one-line startup banner.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Dirty {
+		rev += "+dirty"
+	}
+	mod := b.Module
+	if mod == "" {
+		mod = "wbsn"
+	}
+	return fmt.Sprintf("%s %s (%s)", mod, rev, b.GoVersion)
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+
+	"wbsn/internal/telemetry/trace"
+)
+
+// The gateway control plane rides on the telemetry listener: beside
+// /metrics it serves /sessions (live per-stream stats), POST
+// /sessions/{id}/evict, /traces (end-to-end window span trees),
+// /healthz (drain-aware) and /buildinfo. The session endpoints are
+// backed by a ControlPlane implementation (netgw.Server); binaries
+// without a network gateway still get /traces, /healthz and
+// /buildinfo.
+
+// SessionInfo is one live (or recently finished) stream session as
+// reported by /sessions.
+type SessionInfo struct {
+	ID            uint64 `json:"id"`
+	StartedUnixNs int64  `json:"started_unix_ns"`
+	// Attached reports whether a connection currently feeds the session;
+	// Finished whether the stream's fin was processed.
+	Attached bool `json:"attached"`
+	Finished bool `json:"finished"`
+	// SeqHighWater is the next in-order sequence the reassembler
+	// expects — everything below it was delivered.
+	SeqHighWater uint32 `json:"seq_high_water"`
+	Delivered    uint64 `json:"delivered"`
+	Rewinds      uint64 `json:"rewinds"`
+	Sheds        uint64 `json:"sheds"`
+	Corrupt      uint64 `json:"corrupt"`
+	// Reconnects counts re-attaches after the first (resume hits).
+	Reconnects uint64 `json:"reconnects"`
+	// DecodeNsP50/P99 summarise the session's window decode latency
+	// (offer-to-delivery of in-order windows).
+	DecodeNsP50 uint64 `json:"decode_ns_p50"`
+	DecodeNsP99 uint64 `json:"decode_ns_p99"`
+}
+
+// ControlPlane is the session surface a gateway server exposes to the
+// HTTP layer.
+type ControlPlane interface {
+	// ControlSessions snapshots the live session table.
+	ControlSessions() []SessionInfo
+	// EvictSession removes session id, reporting whether it existed. The
+	// removal must be observable in the next ControlSessions call.
+	EvictSession(id uint64) bool
+	// Draining reports whether a graceful shutdown is in progress.
+	Draining() bool
+}
+
+// HTTPOptions selects the optional control-plane surfaces of the
+// telemetry endpoint. The zero value serves /metrics, /traces (empty),
+// /healthz and /buildinfo only.
+type HTTPOptions struct {
+	// Control backs /sessions and /sessions/{id}/evict.
+	Control ControlPlane
+	// Trace backs /traces.
+	Trace *trace.Collector
+	// Draining, when set, additionally drives /healthz (a binary with no
+	// ControlPlane — wbsn-sim — reports its own drain state here).
+	Draining func() bool
+}
+
+type sessionsResponse struct {
+	Draining bool          `json:"draining"`
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+func (o *HTTPOptions) draining() bool {
+	if o.Draining != nil && o.Draining() {
+		return true
+	}
+	if o.Control != nil && o.Control.Draining() {
+		return true
+	}
+	return false
+}
+
+// HandlerOpts returns the inspection-plus-control mux for a registry.
+func HandlerOpts(reg *Registry, opts HTTPOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if opts.draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, ReadBuild())
+	})
+	mux.HandleFunc("GET /traces", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, opts.Trace.Snapshot())
+	})
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, _ *http.Request) {
+		resp := sessionsResponse{Draining: opts.draining(), Sessions: []SessionInfo{}}
+		if opts.Control != nil {
+			if ss := opts.Control.ControlSessions(); ss != nil {
+				sort.Slice(ss, func(i, j int) bool { return ss[i].ID < ss[j].ID })
+				resp.Sessions = ss
+			}
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /sessions/{id}/evict", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Control == nil {
+			http.Error(w, "no control plane", http.StatusNotImplemented)
+			return
+		}
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad session id", http.StatusBadRequest)
+			return
+		}
+		if !opts.Control.EvictSession(id) {
+			http.Error(w, "no such session", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]uint64{"evicted": id})
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ServeOpts starts the inspection endpoint with control-plane surfaces
+// on addr; see Serve for lifecycle semantics.
+func ServeOpts(addr string, reg *Registry, opts HTTPOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	publishExpvar(reg)
+	s := &Server{ln: ln, srv: &http.Server{Handler: HandlerOpts(reg, opts)}}
+	go s.srv.Serve(ln) //nolint:errcheck — Serve always returns on Close
+	return s, nil
+}

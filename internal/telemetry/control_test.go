@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"wbsn/internal/telemetry/trace"
+)
+
+// fakeControl is a ControlPlane double for endpoint tests.
+type fakeControl struct {
+	mu       sync.Mutex
+	sessions map[uint64]SessionInfo
+	draining bool
+}
+
+func (f *fakeControl) ControlSessions() []SessionInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]SessionInfo, 0, len(f.sessions))
+	for _, s := range f.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (f *fakeControl) EvictSession(id uint64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.sessions[id]; !ok {
+		return false
+	}
+	delete(f.sessions, id)
+	return true
+}
+
+func (f *fakeControl) Draining() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.draining
+}
+
+func controlServer(t *testing.T, opts HTTPOptions) (*httptest.Server, *Registry) {
+	t.Helper()
+	reg := NewRegistry()
+	srv := httptest.NewServer(HandlerOpts(reg, opts))
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSessionsEndpointListsAndEvicts(t *testing.T) {
+	fc := &fakeControl{sessions: map[uint64]SessionInfo{
+		7: {ID: 7, SeqHighWater: 40, Delivered: 40, Rewinds: 2, Sheds: 1, Reconnects: 1, Attached: true},
+		3: {ID: 3, SeqHighWater: 10, Finished: true},
+	}}
+	srv, _ := controlServer(t, HTTPOptions{Control: fc})
+
+	var resp sessionsResponse
+	if code := getJSON(t, srv.URL+"/sessions", &resp); code != http.StatusOK {
+		t.Fatalf("/sessions status %d", code)
+	}
+	if resp.Draining {
+		t.Fatal("draining reported before shutdown")
+	}
+	if len(resp.Sessions) != 2 || resp.Sessions[0].ID != 3 || resp.Sessions[1].ID != 7 {
+		t.Fatalf("sessions not sorted by id: %+v", resp.Sessions)
+	}
+	if s := resp.Sessions[1]; s.SeqHighWater != 40 || s.Rewinds != 2 || s.Sheds != 1 || s.Reconnects != 1 || !s.Attached {
+		t.Fatalf("per-stream stats lost in transit: %+v", s)
+	}
+
+	// Evict session 7, then confirm the very next poll no longer lists
+	// it (the "observable within one poll" contract).
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/sessions/7/evict", nil)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("evict status %d", r.StatusCode)
+	}
+	if code := getJSON(t, srv.URL+"/sessions", &resp); code != http.StatusOK {
+		t.Fatal("re-poll failed")
+	}
+	if len(resp.Sessions) != 1 || resp.Sessions[0].ID != 3 {
+		t.Fatalf("evicted session still listed: %+v", resp.Sessions)
+	}
+
+	// Unknown session and malformed id.
+	req, _ = http.NewRequest(http.MethodPost, srv.URL+"/sessions/7/evict", nil)
+	if r, _ := http.DefaultClient.Do(req); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("re-evict status %d, want 404", r.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodPost, srv.URL+"/sessions/bogus/evict", nil)
+	if r, _ := http.DefaultClient.Do(req); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus id status %d, want 400", r.StatusCode)
+	}
+	// GET on the evict route is method-mismatched.
+	if code := getJSON(t, srv.URL+"/sessions/3/evict", nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET evict status %d, want 405", code)
+	}
+}
+
+func TestSessionsEndpointWithoutControlPlane(t *testing.T) {
+	srv, _ := controlServer(t, HTTPOptions{})
+	var resp sessionsResponse
+	if code := getJSON(t, srv.URL+"/sessions", &resp); code != http.StatusOK {
+		t.Fatalf("/sessions status %d", code)
+	}
+	if resp.Sessions == nil || len(resp.Sessions) != 0 {
+		t.Fatalf("want empty (not null) session list, got %+v", resp.Sessions)
+	}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/sessions/1/evict", nil)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("evict without control plane: status %d, want 501", r.StatusCode)
+	}
+}
+
+func TestHealthzReflectsDrainState(t *testing.T) {
+	fc := &fakeControl{sessions: map[uint64]SessionInfo{}}
+	var draining bool
+	var mu sync.Mutex
+	srv, _ := controlServer(t, HTTPOptions{
+		Control:  fc,
+		Draining: func() bool { mu.Lock(); defer mu.Unlock(); return draining },
+	})
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthy status %d", code)
+	}
+	// Either drain source flips the endpoint to 503.
+	fc.mu.Lock()
+	fc.draining = true
+	fc.mu.Unlock()
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("control-plane drain status %d, want 503", code)
+	}
+	fc.mu.Lock()
+	fc.draining = false
+	fc.mu.Unlock()
+	mu.Lock()
+	draining = true
+	mu.Unlock()
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("callback drain status %d, want 503", code)
+	}
+}
+
+func TestBuildinfoEndpoint(t *testing.T) {
+	srv, _ := controlServer(t, HTTPOptions{})
+	var bi BuildInfo
+	if code := getJSON(t, srv.URL+"/buildinfo", &bi); code != http.StatusOK {
+		t.Fatalf("/buildinfo status %d", code)
+	}
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Fatalf("go version %q", bi.GoVersion)
+	}
+	if ReadBuild().String() == "" {
+		t.Fatal("startup banner empty")
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	col := trace.New(64, 8, 2)
+	srv, _ := controlServer(t, HTTPOptions{Trace: col})
+
+	// Empty collector: valid JSON, zero trees.
+	var snap trace.Snapshot
+	if code := getJSON(t, srv.URL+"/traces", &snap); code != http.StatusOK {
+		t.Fatalf("/traces status %d", code)
+	}
+	if snap.Recorded != 0 || len(snap.Recent) != 0 {
+		t.Fatalf("empty collector snapshot: %+v", snap)
+	}
+
+	ring := col.Session(11)
+	id := trace.NewID(2, 5)
+	ring.Record(id, trace.KindEncode, 10, 100)
+	ring.RecordLink(id, 110, 50, 1, 42)
+	ring.Record(id, trace.KindIngest, 200, 5)
+	ring.RecordDecode(id, 205, 80, 25, 4)
+	ring.Record(id, trace.KindDeliver, 285, 1)
+
+	if code := getJSON(t, srv.URL+"/traces", &snap); code != http.StatusOK {
+		t.Fatal("/traces re-poll failed")
+	}
+	if snap.Recorded != 1 || len(snap.Recent) != 1 || len(snap.Slowest) != 1 {
+		t.Fatalf("snapshot after one window: %+v", snap)
+	}
+	tree := snap.Recent[0]
+	if tree.Session != 11 || len(tree.Node) != 2 || len(tree.Gateway) != 3 {
+		t.Fatalf("tree shape: %+v", tree)
+	}
+}
+
+// TestTracesEndpointWithoutCollector confirms the endpoint degrades to
+// an empty document rather than a 404 when no collector is wired.
+func TestTracesEndpointWithoutCollector(t *testing.T) {
+	srv, _ := controlServer(t, HTTPOptions{})
+	var snap trace.Snapshot
+	if code := getJSON(t, srv.URL+"/traces", &snap); code != http.StatusOK {
+		t.Fatalf("/traces status %d", code)
+	}
+}

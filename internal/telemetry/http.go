@@ -5,7 +5,6 @@ import (
 	"expvar"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -35,22 +34,10 @@ func publishExpvar(reg *Registry) {
 	})
 }
 
-// Handler returns the inspection mux for a registry.
+// Handler returns the inspection mux for a registry (control-plane
+// surfaces disabled — see HandlerOpts).
 func Handler(reg *Registry) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := reg.WriteJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return HandlerOpts(reg, HTTPOptions{})
 }
 
 // Server is a live telemetry listener.
@@ -63,14 +50,7 @@ type Server struct {
 // "127.0.0.1:0") and returns once the listener is bound; requests are
 // served on a background goroutine until Close.
 func Serve(addr string, reg *Registry) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	publishExpvar(reg)
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg)}}
-	go s.srv.Serve(ln) //nolint:errcheck — Serve always returns on Close
-	return s, nil
+	return ServeOpts(addr, reg, HTTPOptions{})
 }
 
 // Addr returns the bound listen address (with the real port when addr

@@ -3,6 +3,8 @@ package telemetry
 import (
 	"fmt"
 	"sync"
+
+	"wbsn/internal/telemetry/trace"
 )
 
 // StageSet bundles the per-stage latency histograms with the shared
@@ -262,6 +264,15 @@ type NetGWMetrics struct {
 	InboxDepth *Gauge
 	// DrainNs is the duration of the last graceful drain.
 	DrainNs *Gauge
+	// Attaches counts every connection→session attach (first attach plus
+	// every resume); ResumeHits the resumes that found delivered windows
+	// to skip (resume-on-reconnect actually saving work); Evictions the
+	// sessions removed through the control plane; IdleCuts the
+	// connections cut by the slowloris idle timeout.
+	Attaches   *Counter
+	ResumeHits *Counter
+	Evictions  *Counter
+	IdleCuts   *Counter
 }
 
 // NewNetGWMetrics registers the networked-gateway family (netgw.*).
@@ -283,6 +294,10 @@ func NewNetGWMetrics(reg *Registry) *NetGWMetrics {
 		Delivered:        reg.Counter("netgw.windows.delivered"),
 		InboxDepth:       reg.Gauge("netgw.inbox.depth"),
 		DrainNs:          reg.Gauge("netgw.drain_ns"),
+		Attaches:         reg.Counter("netgw.attaches"),
+		ResumeHits:       reg.Counter("netgw.resume_hits"),
+		Evictions:        reg.Counter("netgw.sessions.evicted"),
+		IdleCuts:         reg.Counter("netgw.conns.idle_cuts"),
 	}
 }
 
@@ -465,10 +480,21 @@ type Set struct {
 	Solver *SolverMetrics
 	Fleet  *FleetMetrics
 	NetGW  *NetGWMetrics
+	// Trace is the end-to-end window-trace collector (per-session span
+	// rings plus the recent/slowest exemplar stores) served by /traces.
+	Trace *trace.Collector
 }
 
 // traceRingSpans sizes the Set's trace ring.
 const traceRingSpans = 4096
+
+// Window-trace collector defaults: per-session in-flight ring, recent
+// completed-window ring, and slowest-N exemplar reservoir.
+const (
+	traceWindowRing  = 256
+	traceRecentTrees = 64
+	traceSlowestN    = 8
+)
 
 // NewSet builds the full metric family over one registry and attaches
 // the trace ring to it.
@@ -487,5 +513,6 @@ func NewSet(reg *Registry) *Set {
 		Solver:   gw.Solver,
 		Fleet:    NewFleetMetrics(reg),
 		NetGW:    NewNetGWMetrics(reg),
+		Trace:    trace.New(traceWindowRing, traceRecentTrees, traceSlowestN),
 	}
 }

@@ -1,0 +1,304 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Ring is one session's preallocated window-trace store. Each in-flight
+// window occupies the slot indexed by its sequence number, so a ring
+// sized past the transport's reordering horizon never evicts a live
+// window. Recording is a mutex acquire plus field stores — zero
+// allocations in steady state (enforced by TestRecordPathZeroAllocs).
+//
+// All methods are nil-safe on the receiver: layers hold a *Ring and
+// record unconditionally, paying nothing when tracing is detached.
+type Ring struct {
+	c       *Collector
+	session uint64
+	mu      sync.Mutex
+	slots   []Window
+}
+
+// Record stores span kind for window id. Recording KindDeliver marks
+// the window complete and publishes a copy to the collector's recent
+// ring and slowest-N reservoir.
+func (r *Ring) Record(id ID, kind Kind, startNs, durNs int64) {
+	if r == nil || id == 0 {
+		return
+	}
+	r.mu.Lock()
+	w := r.slot(id)
+	w.set(kind, Span{StartNs: startNs, DurNs: durNs})
+	r.finish(w, kind)
+	r.mu.Unlock()
+}
+
+// RecordLink stores the node-side ARQ span with its delivery
+// annotations (cumulative transmission attempts and radio energy in
+// nanojoules). Safe to call repeatedly for one window; the last call
+// before gateway delivery wins.
+func (r *Ring) RecordLink(id ID, startNs, durNs int64, attempts int, radioNJ uint64) {
+	if r == nil || id == 0 {
+		return
+	}
+	r.mu.Lock()
+	w := r.slot(id)
+	w.set(KindLink, Span{StartNs: startNs, DurNs: durNs})
+	w.Attempts = satU16(attempts)
+	w.RadioNJ = radioNJ
+	r.mu.Unlock()
+}
+
+// RecordDecode stores the reconstruction span with its solver
+// annotations (iterations run, windows in the dispatched batch).
+func (r *Ring) RecordDecode(id ID, startNs, durNs int64, iters, batch int) {
+	if r == nil || id == 0 {
+		return
+	}
+	r.mu.Lock()
+	w := r.slot(id)
+	w.set(KindDecode, Span{StartNs: startNs, DurNs: durNs})
+	w.Iters = satU16(iters)
+	w.Batch = satU16(batch)
+	r.mu.Unlock()
+}
+
+// Window returns a copy of the window currently traced under id, and
+// whether one exists. Read side (tests, debugging).
+func (r *Ring) Window(id ID) (Window, bool) {
+	if r == nil || id == 0 {
+		return Window{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := &r.slots[uint32(id.Seq())%uint32(len(r.slots))]
+	if w.ID != id {
+		return Window{}, false
+	}
+	return *w, true
+}
+
+// slot returns the window for id, claiming (and if necessary evicting)
+// its slot. Caller holds r.mu.
+func (r *Ring) slot(id ID) *Window {
+	w := &r.slots[uint32(id.Seq())%uint32(len(r.slots))]
+	if w.ID != id {
+		if w.ID != 0 && !w.Complete() {
+			// A live window outran the ring (sequence gap wider than the
+			// ring) — count the loss instead of mixing two windows' spans.
+			r.c.dropped.Add(1)
+		}
+		*w = Window{ID: id, Session: r.session}
+	}
+	return w
+}
+
+// finish publishes the window when kind completed it. Caller holds
+// r.mu; the collector mutex nests inside ring mutexes (lock order
+// Ring.mu → Collector.mu, never the reverse).
+func (r *Ring) finish(w *Window, kind Kind) {
+	if kind != KindDeliver {
+		return
+	}
+	r.c.publish(w)
+}
+
+func satU16(v int) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xffff {
+		return 0xffff
+	}
+	return uint16(v)
+}
+
+// Collector owns the per-session rings and the completed-window
+// exemplar stores: a recent ring (last R completed windows) and a
+// slowest-N reservoir keyed by total attributed latency. Both are
+// preallocated; publishing a completed window is copies and compares
+// only.
+type Collector struct {
+	ringSize int
+
+	mu       sync.Mutex
+	sessions map[uint64]*Ring
+	recent   []Window // preallocated ring, valid entries have ID != 0
+	next     uint64   // total published; next%len(recent) is the write slot
+	slowest  []Window // reservoir, first slowN entries valid
+	slowN    int
+
+	recorded atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+// New creates a collector. ringSize is the per-session in-flight
+// window capacity (clamped to ≥ 64, comfortably past the transports'
+// reorder horizons), recentSize the completed-window ring, slowestN
+// the exemplar reservoir.
+func New(ringSize, recentSize, slowestN int) *Collector {
+	if ringSize < 64 {
+		ringSize = 64
+	}
+	if recentSize < 1 {
+		recentSize = 1
+	}
+	if slowestN < 1 {
+		slowestN = 1
+	}
+	return &Collector{
+		ringSize: ringSize,
+		sessions: make(map[uint64]*Ring),
+		recent:   make([]Window, recentSize),
+		slowest:  make([]Window, slowestN),
+	}
+}
+
+// Session returns the ring for session id, creating it on first use
+// (cold path — steady-state recording never touches the collector map).
+// Nil-safe: a nil collector yields a nil ring, and nil rings accept
+// records as no-ops.
+func (c *Collector) Session(id uint64) *Ring {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.sessions[id]
+	if r == nil {
+		r = &Ring{c: c, session: id, slots: make([]Window, c.ringSize)}
+		c.sessions[id] = r
+	}
+	return r
+}
+
+// DropSession releases session id's ring (published exemplars are
+// kept). Call when the owning session is evicted or expires.
+func (c *Collector) DropSession(id uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	delete(c.sessions, id)
+	c.mu.Unlock()
+}
+
+// publish copies a completed window into the recent ring and, if slow
+// enough, the reservoir. Called with the owning ring's mutex held.
+func (c *Collector) publish(w *Window) {
+	c.recorded.Add(1)
+	total := w.TotalNs()
+	c.mu.Lock()
+	c.recent[c.next%uint64(len(c.recent))] = *w
+	c.next++
+	// Reservoir: fill first, then displace the current minimum. N is
+	// small (default 8) so a linear scan beats heap bookkeeping.
+	if c.slowN < len(c.slowest) {
+		c.slowest[c.slowN] = *w
+		c.slowN++
+	} else {
+		minI, minT := 0, c.slowest[0].TotalNs()
+		for i := 1; i < c.slowN; i++ {
+			if t := c.slowest[i].TotalNs(); t < minT {
+				minI, minT = i, t
+			}
+		}
+		if total > minT {
+			c.slowest[minI] = *w
+		}
+	}
+	c.mu.Unlock()
+}
+
+// TreeSpan is one span of a snapshot tree, with its kind-specific
+// annotations (attempts/radio_nj on link, iters/batch on decode).
+type TreeSpan struct {
+	Kind     string `json:"kind"`
+	StartNs  int64  `json:"start_ns"`
+	DurNs    int64  `json:"dur_ns"`
+	Attempts uint16 `json:"attempts,omitempty"`
+	RadioNJ  uint64 `json:"radio_nj,omitempty"`
+	Iters    uint16 `json:"iters,omitempty"`
+	Batch    uint16 `json:"batch,omitempty"`
+}
+
+// Tree is one window's span tree, split into its node-side and
+// gateway-side halves.
+type Tree struct {
+	Trace   string     `json:"trace"`
+	Session uint64     `json:"session"`
+	TotalNs int64      `json:"total_ns"`
+	Node    []TreeSpan `json:"node"`
+	Gateway []TreeSpan `json:"gateway"`
+}
+
+// Snapshot is the collector's read-side view, served by /traces.
+type Snapshot struct {
+	// Recorded counts completed (delivered) windows; Dropped counts
+	// live windows evicted from a ring before completing.
+	Recorded uint64 `json:"recorded"`
+	Dropped  uint64 `json:"dropped"`
+	Recent   []Tree `json:"recent"`
+	Slowest  []Tree `json:"slowest"`
+}
+
+// Snapshot renders the exemplar stores as JSON-ready trees: the recent
+// ring oldest-first and the reservoir slowest-first. The read side
+// allocates freely; only the record path is allocation-bound.
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	var rec, slow []Window
+	c.mu.Lock()
+	n := c.next
+	if n > uint64(len(c.recent)) {
+		n = uint64(len(c.recent))
+	}
+	rec = make([]Window, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rec = append(rec, c.recent[(c.next-n+i)%uint64(len(c.recent))])
+	}
+	slow = append(slow, c.slowest[:c.slowN]...)
+	c.mu.Unlock()
+	sort.Slice(slow, func(i, j int) bool { return slow[i].TotalNs() > slow[j].TotalNs() })
+	s := Snapshot{
+		Recorded: c.recorded.Load(),
+		Dropped:  c.dropped.Load(),
+		Recent:   make([]Tree, 0, len(rec)),
+		Slowest:  make([]Tree, 0, len(slow)),
+	}
+	for i := range rec {
+		s.Recent = append(s.Recent, buildTree(&rec[i]))
+	}
+	for i := range slow {
+		s.Slowest = append(s.Slowest, buildTree(&slow[i]))
+	}
+	return s
+}
+
+// buildTree converts one completed window into its snapshot tree.
+func buildTree(w *Window) Tree {
+	t := Tree{Trace: w.ID.String(), Session: w.Session, TotalNs: w.TotalNs()}
+	for k := 0; k < NumKinds; k++ {
+		kind := Kind(k)
+		if !w.Has(kind) {
+			continue
+		}
+		ts := TreeSpan{Kind: kind.String(), StartNs: w.Spans[k].StartNs, DurNs: w.Spans[k].DurNs}
+		switch kind {
+		case KindLink:
+			ts.Attempts, ts.RadioNJ = w.Attempts, w.RadioNJ
+		case KindDecode:
+			ts.Iters, ts.Batch = w.Iters, w.Batch
+		}
+		if kind.NodeSide() {
+			t.Node = append(t.Node, ts)
+		} else {
+			t.Gateway = append(t.Gateway, ts)
+		}
+	}
+	return t
+}

@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	id := NewID(7, 12345)
+	if id.Hi() != 7 || id.Seq() != 12345 {
+		t.Fatalf("round trip: hi=%d seq=%d", id.Hi(), id.Seq())
+	}
+	if got, want := id.String(), "00000007-00003039"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if NewID(0, 0) != 0 {
+		t.Fatal("zero parts must make the untraced ID")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := 0; k < NumKinds; k++ {
+		name := Kind(k).String()
+		if name == "unknown" || seen[name] {
+			t.Fatalf("kind %d has bad/duplicate name %q", k, name)
+		}
+		seen[name] = true
+	}
+	if !KindEncode.NodeSide() || !KindLink.NodeSide() {
+		t.Fatal("encode/link must be node-side")
+	}
+	if KindIngest.NodeSide() || KindDeliver.NodeSide() {
+		t.Fatal("ingest/deliver must be gateway-side")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	r := c.Session(1) // nil collector → nil ring
+	if r != nil {
+		t.Fatal("nil collector must hand out nil rings")
+	}
+	r.Record(NewID(1, 1), KindEncode, 0, 10)
+	r.RecordLink(NewID(1, 1), 0, 10, 3, 99)
+	r.RecordDecode(NewID(1, 1), 0, 10, 5, 4)
+	if _, ok := r.Window(NewID(1, 1)); ok {
+		t.Fatal("nil ring must not report windows")
+	}
+	c.DropSession(1)
+	if s := c.Snapshot(); s.Recorded != 0 || len(s.Recent) != 0 {
+		t.Fatalf("nil collector snapshot not empty: %+v", s)
+	}
+}
+
+func TestEndToEndTree(t *testing.T) {
+	c := New(64, 16, 4)
+	r := c.Session(42)
+	id := NewID(3, 9)
+	r.Record(id, KindEncode, 100, 50)
+	r.RecordLink(id, 150, 200, 2, 777)
+	r.Record(id, KindIngest, 400, 30)
+	r.Record(id, KindQueueWait, 430, 20)
+	r.RecordDecode(id, 450, 500, 40, 8)
+	r.Record(id, KindDeliver, 950, 10)
+
+	s := c.Snapshot()
+	if s.Recorded != 1 || s.Dropped != 0 {
+		t.Fatalf("recorded=%d dropped=%d", s.Recorded, s.Dropped)
+	}
+	if len(s.Recent) != 1 || len(s.Slowest) != 1 {
+		t.Fatalf("recent=%d slowest=%d", len(s.Recent), len(s.Slowest))
+	}
+	tr := s.Recent[0]
+	if tr.Trace != id.String() || tr.Session != 42 {
+		t.Fatalf("tree identity: %+v", tr)
+	}
+	if tr.TotalNs != 50+200+30+20+500+10 {
+		t.Fatalf("total_ns = %d", tr.TotalNs)
+	}
+	if len(tr.Node) != 2 || len(tr.Gateway) != 4 {
+		t.Fatalf("node=%d gateway=%d spans", len(tr.Node), len(tr.Gateway))
+	}
+	if tr.Node[1].Kind != "link" || tr.Node[1].Attempts != 2 || tr.Node[1].RadioNJ != 777 {
+		t.Fatalf("link span annotations: %+v", tr.Node[1])
+	}
+	var decode *TreeSpan
+	for i := range tr.Gateway {
+		if tr.Gateway[i].Kind == "decode" {
+			decode = &tr.Gateway[i]
+		}
+	}
+	if decode == nil || decode.Iters != 40 || decode.Batch != 8 {
+		t.Fatalf("decode span annotations: %+v", decode)
+	}
+	// The snapshot must be valid JSON (served verbatim by /traces).
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot marshal: %v", err)
+	}
+}
+
+// TestRingEviction drives sequence numbers past the ring size and
+// checks that incomplete overwritten windows count as dropped while
+// completed windows never do.
+func TestRingEviction(t *testing.T) {
+	c := New(64, 8, 4)
+	r := c.Session(1)
+	// Complete the first lap fully: no drops.
+	for seq := uint32(0); seq < 64; seq++ {
+		id := NewID(1, seq)
+		r.Record(id, KindEncode, int64(seq), 1)
+		r.Record(id, KindDeliver, int64(seq)+1, 1)
+	}
+	// Second lap reuses every slot; prior occupants completed.
+	for seq := uint32(64); seq < 128; seq++ {
+		id := NewID(1, seq)
+		r.Record(id, KindEncode, int64(seq), 1)
+	}
+	if got := c.Snapshot(); got.Dropped != 0 || got.Recorded != 64 {
+		t.Fatalf("after completed lap: %+v", got)
+	}
+	// Third lap evicts the incomplete second-lap windows.
+	for seq := uint32(128); seq < 192; seq++ {
+		r.Record(NewID(1, seq), KindEncode, int64(seq), 1)
+	}
+	if got := c.Snapshot().Dropped; got != 64 {
+		t.Fatalf("dropped = %d, want 64", got)
+	}
+	// Spans recorded for an evicted window must start a fresh window,
+	// not resurrect the old one.
+	w, ok := r.Window(NewID(1, 128))
+	if !ok || w.Has(KindDeliver) || !w.Has(KindEncode) {
+		t.Fatalf("evicted slot window: %+v ok=%v", w, ok)
+	}
+}
+
+func TestRecentRingOrderAndWrap(t *testing.T) {
+	c := New(64, 4, 2)
+	r := c.Session(9)
+	for seq := uint32(0); seq < 10; seq++ {
+		id := NewID(9, seq)
+		r.Record(id, KindEncode, 0, int64(seq))
+		r.Record(id, KindDeliver, 0, 0)
+	}
+	s := c.Snapshot()
+	if len(s.Recent) != 4 {
+		t.Fatalf("recent len = %d", len(s.Recent))
+	}
+	// Oldest-first: windows 6..9.
+	for i, tr := range s.Recent {
+		want := NewID(9, uint32(6+i)).String()
+		if tr.Trace != want {
+			t.Fatalf("recent[%d] = %s, want %s", i, tr.Trace, want)
+		}
+	}
+}
+
+func TestSlowestReservoir(t *testing.T) {
+	c := New(64, 4, 3)
+	r := c.Session(1)
+	durs := []int64{5, 100, 1, 50, 70, 2, 99}
+	for i, d := range durs {
+		id := NewID(1, uint32(i))
+		r.Record(id, KindDecode, 0, d)
+		r.Record(id, KindDeliver, 0, 0)
+	}
+	s := c.Snapshot()
+	if len(s.Slowest) != 3 {
+		t.Fatalf("slowest len = %d", len(s.Slowest))
+	}
+	want := []int64{100, 99, 70}
+	for i, tr := range s.Slowest {
+		if tr.TotalNs != want[i] {
+			t.Fatalf("slowest[%d].TotalNs = %d, want %d", i, tr.TotalNs, want[i])
+		}
+	}
+}
+
+// TestRecordPathZeroAllocs pins the full per-window record path —
+// every span kind including the completing deliver that publishes to
+// the recent ring and reservoir — at zero allocations per window.
+func TestRecordPathZeroAllocs(t *testing.T) {
+	c := New(256, 64, 8)
+	r := c.Session(1)
+	var seq uint32
+	allocs := testing.AllocsPerRun(500, func() {
+		id := NewID(1, seq)
+		seq++
+		r.Record(id, KindEncode, 1, 2)
+		r.RecordLink(id, 3, 4, 2, 100)
+		r.Record(id, KindIngest, 7, 1)
+		r.Record(id, KindQueueWait, 8, 1)
+		r.RecordDecode(id, 9, 5, 30, 4)
+		r.Record(id, KindDeliver, 14, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentRecordSnapshot hammers one collector from many
+// sessions while snapshotting — run under -race in CI.
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	c := New(64, 32, 8)
+	const sessions, windows = 8, 200
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r := c.Session(uint64(s))
+			for seq := uint32(0); seq < windows; seq++ {
+				// s+1: NewID(0,0) is the reserved untraced ID.
+				id := NewID(uint32(s+1), seq)
+				r.Record(id, KindEncode, 0, 1)
+				r.RecordLink(id, 1, 1, 1, 1)
+				r.Record(id, KindIngest, 2, 1)
+				r.RecordDecode(id, 3, 1, 10, 2)
+				r.Record(id, KindDeliver, 4, 1)
+			}
+		}(s)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				c.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if got := c.Snapshot().Recorded; got != sessions*windows {
+		t.Fatalf("recorded = %d, want %d", got, sessions*windows)
+	}
+}
+
+func TestDropSession(t *testing.T) {
+	c := New(64, 4, 2)
+	r1 := c.Session(5)
+	c.DropSession(5)
+	r2 := c.Session(5)
+	if r1 == r2 {
+		t.Fatal("DropSession must release the ring")
+	}
+}
+
+func TestSatU16(t *testing.T) {
+	if satU16(-1) != 0 || satU16(70000) != 0xffff || satU16(42) != 42 {
+		t.Fatal("satU16 clamping")
+	}
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTracerWraparoundOrdering drives the ring well past capacity and
+// checks that Snapshot returns exactly the newest ring-full of spans,
+// oldest first, with no stale or duplicated slots.
+func TestTracerWraparoundOrdering(t *testing.T) {
+	const size = 16 // NewTracer's minimum
+	tr := NewTracer(size)
+	const total = size*3 + 5 // strictly past capacity, misaligned on purpose
+	for i := 0; i < total; i++ {
+		tr.Record(StageCS, int64(i), int64(1000+i), int64(i))
+	}
+	if tr.Len() != total {
+		t.Fatalf("Len = %d, want %d", tr.Len(), total)
+	}
+	snap := tr.Snapshot(size * 2) // asking past capacity returns one ring-full
+	if len(snap) != size {
+		t.Fatalf("snapshot len = %d, want %d", len(snap), size)
+	}
+	for i, s := range snap {
+		want := int64(total - size + i)
+		if s.At != want {
+			t.Fatalf("snapshot[%d].At = %d, want %d (not oldest-first after wrap)", i, s.At, want)
+		}
+		if s.StartNs != 1000+want || s.DurNs != want {
+			t.Fatalf("snapshot[%d] slot mixed: %+v", i, s)
+		}
+		if s.StageName != StageCS.String() {
+			t.Fatalf("snapshot[%d] stage name %q", i, s.StageName)
+		}
+	}
+	// A bounded snapshot still ends at the newest span.
+	tail := tr.Snapshot(4)
+	if len(tail) != 4 || tail[3].At != total-1 || tail[0].At != total-4 {
+		t.Fatalf("bounded snapshot: %+v", tail)
+	}
+}
+
+// TestTracerConcurrentRecord races many writers against snapshot
+// readers (run with -race in CI) and then checks every slot survived
+// with internally consistent fields — a torn multi-word slot write
+// would mix one writer's At with another's StartNs.
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(64)
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	for wtr := 0; wtr < writers; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Encode the writer in every field so torn writes are
+				// detectable: At == StartNs == DurNs for each span.
+				v := int64(wtr*perWriter + i)
+				tr.Record(Stage(wtr%NumStages), v, v, v)
+			}
+		}(wtr)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, s := range tr.Snapshot(64) {
+					if s.At != s.StartNs || s.At != s.DurNs {
+						panic("torn span observed mid-run")
+					}
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if got := tr.Len(); got != writers*perWriter {
+		t.Fatalf("Len = %d, want %d (lost records under contention)", got, writers*perWriter)
+	}
+	for _, s := range tr.Snapshot(64) {
+		if s.At != s.StartNs || s.At != s.DurNs {
+			t.Fatalf("torn span in final ring: %+v", s)
+		}
+	}
+}

@@ -5,8 +5,11 @@
 # histograms, ARQ counters, gateway queue gauge, radio energy, and —
 # with -solver-tol armed — the adaptive-solver counters: solves, warm
 # seeds, early exits, momentum restarts, warm resets at patient
-# boundaries, and the iteration histogram). Fails non-zero if the
-# endpoint never comes up or never populates.
+# boundaries, and the iteration histogram). Then checks the control
+# surfaces beside /metrics: /traces must carry stitched end-to-end
+# window trees, and /healthz, /buildinfo and /sessions must answer
+# well-formed. Fails non-zero if the endpoint never comes up or never
+# populates.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,6 +23,7 @@ trap cleanup EXIT
 
 go build -o "$WORK/wbsn-sim" ./cmd/wbsn-sim
 go build -o "$WORK/telemetrycheck" ./scripts/telemetrycheck
+go build -o "$WORK/tracecheck" ./scripts/tracecheck
 
 # Linger keeps the endpoint alive after the sweep so a slow scraper
 # still sees the fully-populated registry.
@@ -61,6 +65,11 @@ while [ $i -lt 300 ]; do
 		solver.restarts \
 		solver.warm_resets \
 		solver.iters 2>"$WORK/check.log"; then
+		# Metrics are live — now the control surfaces. The sim has no
+		# network sessions (-want-sessions 0) and may already be in its
+		# post-run linger (-allow-draining), but /traces must hold
+		# stitched window trees from the fleet sweep.
+		"$WORK/tracecheck" -min-trees 1 -want-sessions 0 -allow-draining "http://$ADDR"
 		echo "telemetry_smoke: OK"
 		exit 0
 	fi

@@ -1,0 +1,144 @@
+// Command tracecheck validates a wbsn control-plane endpoint: it
+// fetches /traces and asserts end-to-end window-trace continuity (every
+// published tree stitches node-side spans to gateway-side spans), and
+// checks /healthz, /buildinfo and /sessions answer well-formed. CI's
+// smoke and soak scripts poll it after driving traffic.
+//
+// Usage:
+//
+//	tracecheck [-min-trees N] [-want-sessions N] [-evict-one] <base-url>
+//
+// base-url is the telemetry listener root (http://host:port). With
+// -evict-one the first listed session is POSTed to /sessions/{id}/evict
+// and the immediately following /sessions poll must no longer list it —
+// the control plane's observability contract. Exit status 0 means every
+// requirement held.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"wbsn/internal/telemetry"
+	"wbsn/internal/telemetry/trace"
+)
+
+var client = &http.Client{Timeout: 10 * time.Second}
+
+func main() {
+	minTrees := flag.Int("min-trees", 1, "minimum published trace trees required")
+	wantSessions := flag.Int("want-sessions", -1, "exact /sessions count required (-1 skips)")
+	evictOne := flag.Bool("evict-one", false, "evict the first listed session and verify the next poll misses it")
+	allowDraining := flag.Bool("allow-draining", false, "accept a 503 (draining) /healthz — for processes checked after their run ended")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-trees N] [-want-sessions N] [-evict-one] [-allow-draining] <base-url>")
+		os.Exit(2)
+	}
+	base := flag.Arg(0)
+
+	// /healthz must answer 200 on a live process (or 503 once it drains).
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		fail("healthz: %v", err)
+	}
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case *allowDraining && resp.StatusCode == http.StatusServiceUnavailable:
+	default:
+		fail("healthz: status %d", resp.StatusCode)
+	}
+
+	// /buildinfo must be a valid provenance document.
+	var bi telemetry.BuildInfo
+	getJSON(base+"/buildinfo", &bi)
+	if bi.GoVersion == "" {
+		fail("buildinfo: empty go_version")
+	}
+
+	// /traces: continuity is the tentpole contract — a published tree
+	// exists only for a delivered window, and must span both sides.
+	var traces trace.Snapshot
+	getJSON(base+"/traces", &traces)
+	trees := append(traces.Recent, traces.Slowest...)
+	if len(traces.Recent) < *minTrees {
+		fail("traces: %d recent trees, want >= %d (recorded %d, dropped %d)",
+			len(traces.Recent), *minTrees, traces.Recorded, traces.Dropped)
+	}
+	for i, tr := range trees {
+		if tr.Trace == "" {
+			fail("traces: tree %d has an empty id", i)
+		}
+		if len(tr.Node) == 0 {
+			fail("traces: tree %d (%s) has no node-side spans", i, tr.Trace)
+		}
+		if len(tr.Gateway) == 0 {
+			fail("traces: tree %d (%s) has no gateway-side spans", i, tr.Trace)
+		}
+	}
+
+	// /sessions must parse; optionally pin the count and round-trip an
+	// eviction.
+	sess := getSessions(base)
+	if *wantSessions >= 0 && len(sess.Sessions) != *wantSessions {
+		fail("sessions: %d listed, want %d", len(sess.Sessions), *wantSessions)
+	}
+	if *evictOne {
+		if len(sess.Sessions) == 0 {
+			fail("evict-one: no sessions to evict")
+		}
+		id := sess.Sessions[0].ID
+		resp, err := client.Post(fmt.Sprintf("%s/sessions/%d/evict", base, id), "", nil)
+		if err != nil {
+			fail("evict %d: %v", id, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail("evict %d: status %d", id, resp.StatusCode)
+		}
+		for _, s := range getSessions(base).Sessions {
+			if s.ID == id {
+				fail("evict %d: session still listed on the next poll", id)
+			}
+		}
+		fmt.Printf("tracecheck: evicted session %d, next poll clean\n", id)
+	}
+
+	fmt.Printf("tracecheck: ok (%d trees: %d recent, %d slowest; recorded %d, dropped %d; %d sessions)\n",
+		len(trees), len(traces.Recent), len(traces.Slowest), traces.Recorded, traces.Dropped, len(sess.Sessions))
+}
+
+type sessionsDoc struct {
+	Draining bool                    `json:"draining"`
+	Sessions []telemetry.SessionInfo `json:"sessions"`
+}
+
+func getSessions(base string) sessionsDoc {
+	var doc sessionsDoc
+	getJSON(base+"/sessions", &doc)
+	return doc
+}
+
+func getJSON(url string, v any) {
+	resp, err := client.Get(url)
+	if err != nil {
+		fail("fetch %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("fetch %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		fail("%s: invalid JSON: %v", url, err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
