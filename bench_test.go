@@ -7,6 +7,7 @@
 package wbsn_test
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"math/rand"
@@ -1412,4 +1413,96 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			})
 		}
 	}
+}
+
+// ---------------------------------------------------------------------
+// PR 10 — hierarchical cluster: scheduling-round cost and allocation
+// discipline at population scale.
+// ---------------------------------------------------------------------
+
+// BenchmarkFleetClusterRound measures one scheduling round of the
+// hierarchical cluster per iteration — per-patient wall cost and,
+// through B/op and allocs/op, the steady-state allocation bill of the
+// tiered-state machinery (cold rehydration, warm snapshot capture,
+// batched telemetry). Rounds advance across iterations, so every
+// iteration after the first exercises the warm-carry path.
+func BenchmarkFleetClusterRound(b *testing.B) {
+	const patients = 8
+	for _, topo := range [][2]int{{1, 1}, {2, 2}} {
+		b.Run(fmt.Sprintf("groups=%dx%d", topo[0], topo[1]), func(b *testing.B) {
+			cl, err := fleet.NewCluster(fleet.ClusterConfig{
+				Fleet: fleet.Config{
+					Patients:    patients,
+					Seed:        61,
+					SolverIters: 40,
+					SolverTol:   1e-3,
+					WarmStart:   true,
+				},
+				Groups:      topo[0],
+				GroupShards: topo[1],
+				Rounds:      1 << 30, // never "done": RunRound drives rounds directly
+				SessionS:    2,
+				CarryWarm:   true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			// One warm-up round fills rig buffers and the warm tier.
+			if _, err := cl.RunRound(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.RunRound(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			secs := time.Since(start).Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(b.N*patients)/secs, "patients/s")
+			}
+		})
+	}
+}
+
+// BenchmarkFleetCheckpoint measures a full checkpoint round trip
+// (serialise + restore) of a populated cluster — the pause a soak pays
+// at every save point, and the B/op bill of the codec.
+func BenchmarkFleetCheckpoint(b *testing.B) {
+	const patients = 256
+	cl, err := fleet.NewCluster(fleet.ClusterConfig{
+		Fleet: fleet.Config{
+			Patients:    patients,
+			Seed:        61,
+			SolverIters: 20,
+			SolverTol:   1e-3,
+			WarmStart:   true,
+		},
+		Rounds:    1,
+		SessionS:  2,
+		CarryWarm: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Run(); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := cl.WriteCheckpoint(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
 }

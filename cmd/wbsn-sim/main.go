@@ -11,6 +11,7 @@
 //	wbsn-sim -faulty     # sweep the lossy-link scenario instead
 //	wbsn-sim -throughput # sweep the gateway engine across worker counts
 //	wbsn-sim -fleet      # sweep the sharded multi-patient fleet engine
+//	wbsn-sim -soak       # long-horizon hierarchical-cluster endurance run
 //
 // Any run may add -telemetry addr to serve live metrics (/metrics,
 // /debug/vars, /debug/pprof) plus a periodic stderr summary; the fleet
@@ -37,7 +38,22 @@ func main() {
 		engBatch   = flag.Int("engine-batch", 0, "windows per gateway-engine dispatch in the fleet/throughput sweeps: >1 batches queued windows through one structure-of-arrays solver pass (0/1 = sequential)")
 		telAddr    = flag.String("telemetry", "", "serve live metrics on this address (/metrics JSON, /debug/vars, /debug/pprof)")
 		telLinger  = flag.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the run (for external scrapers)")
+
+		soak = flag.Bool("soak", false, "run the long-horizon hierarchical-fleet soak (leak, saturation, drift and budget watcher)")
+		o    soakOpts
 	)
+	flag.IntVar(&o.patients, "soak-patients", 10000, "soak population size")
+	flag.IntVar(&o.rounds, "soak-rounds", 5, "soak scheduling rounds (each simulates soak-session-s per patient)")
+	flag.IntVar(&o.groups, "soak-groups", 4, "cluster shard-groups")
+	flag.IntVar(&o.groupShards, "soak-group-shards", 0, "worker shards per group (0 = GOMAXPROCS)")
+	flag.Float64Var(&o.sessionS, "soak-session-s", 2, "simulated seconds per patient per round")
+	flag.IntVar(&o.budget, "soak-budget", 8192, "enforced bytes/patient cap (0 disables)")
+	flag.BoolVar(&o.carryWarm, "soak-carry-warm", true, "carry warm-start solver coefficients across rounds (compact float32 tier)")
+	flag.BoolVar(&o.checkpoint, "soak-checkpoint", true, "checkpoint mid-run, restore into a fresh cluster and verify digest identity")
+	flag.StringVar(&o.ckptFile, "soak-checkpoint-file", "", "also persist the mid-run checkpoint to this path")
+	flag.IntVar(&o.verifyEvery, "soak-verify-every", 1, "replay-verify one patient's digest every N rounds (0 disables)")
+	flag.Float64Var(&o.heapGrowthMB, "soak-heap-growth-mb", 64, "max allowed heap growth between round 0 and the final round")
+	flag.IntVar(&o.solverIters, "soak-iters", 0, "FISTA iteration cap for the soak (0 = gateway default; CI uses a reduced budget)")
 	flag.Parse()
 	var tel *telemetry.Set
 	if *telAddr != "" {
@@ -47,6 +63,14 @@ func main() {
 		}
 		defer stop()
 		tel = set
+	}
+	if *soak {
+		o.solverTol = *solverTol
+		o.seed = *seed
+		if err := runSoak(o, tel); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 	if *fleetSweep {
 		if err := runFleetSweep(*seed, tel, *solverTol, *engBatch); err != nil {

@@ -107,3 +107,50 @@ func (w *WarmState) commit() {
 	}
 	w.valid = true
 }
+
+// SnapshotLen returns the float32 payload length of a compact snapshot
+// for L leads of n coefficients.
+func SnapshotLen(L, n int) int { return L * n }
+
+// SnapshotInto compacts the carried coefficients into dst as float32 —
+// the cold-tier form a population-scale fleet keeps per patient while
+// the patient is off its rig (half the resident bytes of the live
+// float64 state). Returns false, storing nothing, when the state holds
+// no committed solve or is shaped differently than L leads of n
+// coefficients; dst must have length ≥ SnapshotLen(L, n).
+//
+// The float32 rounding is part of the contract, not an accident: every
+// tier crossing — scheduling a patient back onto a rig, writing a
+// checkpoint, restoring one — quantises identically, so a soak that
+// stops and resumes replays bit-identically against one that never
+// stopped.
+func (w *WarmState) SnapshotInto(dst []float32, L, n int) bool {
+	if w == nil || !w.valid || w.n != n || len(w.theta) != L {
+		return false
+	}
+	for li, theta := range w.theta {
+		row := dst[li*n : (li+1)*n]
+		for i, v := range theta {
+			row[i] = float32(v)
+		}
+	}
+	return true
+}
+
+// RestoreFrom rehydrates the state from a compact snapshot: the next
+// solve warm-starts from the float32-rounded coefficients. src must
+// have length ≥ SnapshotLen(L, n).
+func (w *WarmState) RestoreFrom(src []float32, L, n int) {
+	if w == nil {
+		return
+	}
+	w.prepare(L, n)
+	for li := 0; li < L; li++ {
+		row := src[li*n : (li+1)*n]
+		theta := w.theta[li]
+		for i, v := range row {
+			theta[i] = float64(v)
+		}
+	}
+	w.valid = true
+}

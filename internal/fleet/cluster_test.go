@@ -1,0 +1,373 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"hash/fnv"
+	"testing"
+	"unsafe"
+
+	"wbsn/internal/core"
+	"wbsn/internal/ecg"
+	"wbsn/internal/link"
+)
+
+// TestFNVMatchesStdlib pins the resumable digest to hash/fnv's New64a:
+// the flat engine hashed with the stdlib for nine PRs, so every stored
+// digest depends on byte-for-byte equivalence.
+func TestFNVMatchesStdlib(t *testing.T) {
+	chunks := [][]byte{
+		nil,
+		{0x00},
+		{0xff, 0x01, 0x80},
+		[]byte("wearable cardiac monitoring"),
+		bytes.Repeat([]byte{0xa5, 0x5a}, 257),
+	}
+	std := fnv.New64a()
+	ours := newFNV64a(fnvOffset64)
+	for _, c := range chunks {
+		std.Write(c)
+		ours.Write(c)
+		if std.Sum64() != ours.Sum64() {
+			t.Fatalf("after %d bytes: stdlib %016x, ours %016x", len(c), std.Sum64(), ours.Sum64())
+		}
+	}
+	// Resumability: continuing from a stored Sum64 state equals one
+	// uninterrupted hash.
+	resumed := newFNV64a(ours.Sum64())
+	tail := []byte("resumed after checkpoint")
+	std.Write(tail)
+	resumed.Write(tail)
+	if std.Sum64() != resumed.Sum64() {
+		t.Fatalf("resumed hash diverged: stdlib %016x, ours %016x", std.Sum64(), resumed.Sum64())
+	}
+	if got := len(ours.Sum(nil)); got != 8 {
+		t.Fatalf("Sum length %d", got)
+	}
+}
+
+// TestPatientStateSize pins the cold tier to its budgeted 64 bytes —
+// residency math all over the cluster depends on it.
+func TestPatientStateSize(t *testing.T) {
+	if got := unsafe.Sizeof(PatientState{}); got != patientStateBytes {
+		t.Fatalf("PatientState is %d bytes, budget says %d", got, patientStateBytes)
+	}
+}
+
+// TestSessionSeedDerivation pins the seed schedule: round 0 must be the
+// flat engine's Seed+p (that is what makes a one-round cluster
+// digest-identical to the flat fleet), later rounds must differ per
+// round and stay deterministic.
+func TestSessionSeedDerivation(t *testing.T) {
+	if got := sessionSeed(100, 7, 0); got != 107 {
+		t.Fatalf("round 0 seed %d, want 107", got)
+	}
+	seen := map[int64]int{}
+	for round := 0; round < 16; round++ {
+		seen[sessionSeed(100, 7, round)]++
+	}
+	if len(seen) != 16 {
+		t.Fatalf("16 rounds produced %d distinct seeds", len(seen))
+	}
+	if sessionSeed(100, 7, 3) != sessionSeed(100, 7, 3) {
+		t.Fatal("seed derivation not deterministic")
+	}
+}
+
+func clusterCfg(patients int) ClusterConfig {
+	return ClusterConfig{
+		Fleet: Config{
+			Patients:    patients,
+			DurationS:   4,
+			Seed:        100,
+			SolverIters: 20,
+			SolverTol:   1e-3,
+			WarmStart:   true,
+		},
+		SessionS: 4,
+	}
+}
+
+func runCluster(t testing.TB, cfg ClusterConfig) (*Cluster, *ClusterReport) {
+	t.Helper()
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Run()
+	if err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+	return cl, rep
+}
+
+// TestClusterFlatParity is acceptance criterion one: a one-round
+// cluster reproduces the flat engine's per-patient digests bit for bit,
+// whatever the group topology.
+func TestClusterFlatParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	const patients = 6
+	fcfg := clusterCfg(patients).Fleet
+	fcfg.Shards = 2
+	flat := runFleet(t, fcfg)
+	for _, topo := range [][2]int{{1, 1}, {1, 3}, {2, 2}, {3, 1}} {
+		cfg := clusterCfg(patients)
+		cfg.Groups, cfg.GroupShards = topo[0], topo[1]
+		cl, _ := runCluster(t, cfg)
+		for p := 0; p < patients; p++ {
+			got := cl.Result(p)
+			want := flat.Patients[p]
+			if got.Digest != want.Digest {
+				t.Errorf("topology %dx%d patient %d: digest %016x, flat %016x",
+					topo[0], topo[1], p, got.Digest, want.Digest)
+			}
+			if got.Events != want.Events || got.Beats != want.Beats ||
+				got.Packets != want.Packets || got.Se != want.Se {
+				t.Errorf("topology %dx%d patient %d: counters diverged: %+v vs %+v",
+					topo[0], topo[1], p, got, want)
+			}
+		}
+		cl.Close()
+	}
+}
+
+// TestClusterTopologyInvariance extends bit-identity to multi-round
+// runs with the warm tier carried: the full cold state (digest and
+// every counter) must not depend on the group/shard topology.
+func TestClusterTopologyInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	const patients = 5
+	base := clusterCfg(patients)
+	base.Rounds = 3
+	base.SessionS = 2
+	base.CarryWarm = true
+	ref, refRep := runCluster(t, base)
+	defer ref.Close()
+	for _, topo := range [][2]int{{1, 2}, {2, 1}, {2, 2}, {5, 1}} {
+		cfg := base
+		cfg.Groups, cfg.GroupShards = topo[0], topo[1]
+		cl, rep := runCluster(t, cfg)
+		for p := 0; p < patients; p++ {
+			if got, want := cl.State(p), ref.State(p); got != want {
+				t.Errorf("topology %dx%d patient %d: state diverged:\n got %+v\nwant %+v",
+					topo[0], topo[1], p, got, want)
+			}
+		}
+		if rep.DigestFold != refRep.DigestFold {
+			t.Errorf("topology %dx%d: digest fold %016x, want %016x",
+				topo[0], topo[1], rep.DigestFold, refRep.DigestFold)
+		}
+		cl.Close()
+	}
+}
+
+// TestClusterCheckpointIdentity is acceptance criterion three: stop a
+// soak after two rounds, checkpoint, restore into a fresh cluster (a
+// different topology, even), finish the remaining round — and land on
+// exactly the digests of the uninterrupted run.
+func TestClusterCheckpointIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	const patients = 4
+	base := clusterCfg(patients)
+	base.Rounds = 3
+	base.SessionS = 2
+	base.CarryWarm = true
+
+	straight, _ := runCluster(t, base)
+	defer straight.Close()
+
+	interrupted, err := NewCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		if _, err := interrupted.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ckpt bytes.Buffer
+	if err := interrupted.WriteCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	interrupted.Close()
+
+	resumedCfg := base
+	resumedCfg.Groups, resumedCfg.GroupShards = 2, 2 // restore across a topology change
+	resumed, err := NewCluster(resumedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if err := resumed.ReadCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.RoundsDone(); got != 2 {
+		t.Fatalf("restored RoundsDone %d, want 2", got)
+	}
+	rep, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds != 3 {
+		t.Fatalf("resumed run finished %d rounds, want 3", rep.Rounds)
+	}
+	for p := 0; p < patients; p++ {
+		if got, want := resumed.State(p), straight.State(p); got != want {
+			t.Errorf("patient %d: resumed state diverged:\n got %+v\nwant %+v", p, got, want)
+		}
+	}
+
+	// Corruption must be caught by the FNV footer, not resumed.
+	bad := append([]byte(nil), ckpt.Bytes()...)
+	bad[len(bad)/2] ^= 0x40
+	fresh, err := NewCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if err := fresh.ReadCheckpoint(bytes.NewReader(bad)); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("corrupted checkpoint: err %v, want ErrCheckpoint", err)
+	}
+
+	// A mismatched cluster (different seed) must refuse the file.
+	other := base
+	other.Fleet.Seed = 999
+	wrong, err := NewCluster(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wrong.Close()
+	if err := wrong.ReadCheckpoint(bytes.NewReader(ckpt.Bytes())); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("seed-mismatched checkpoint: err %v, want ErrCheckpoint", err)
+	}
+}
+
+// TestClusterBudget pins the enforcement: a budget below the planned
+// cold+warm residency fails fast with ErrBudget, one at the plan
+// passes, and MemStats reports the arithmetic.
+func TestClusterBudget(t *testing.T) {
+	cfg := clusterCfg(16)
+	cfg.CarryWarm = true
+	cfg.BudgetBytesPerPatient = patientStateBytes // no room for the warm tier
+	if _, err := NewCluster(cfg); !errors.Is(err, ErrBudget) {
+		t.Fatalf("under-budget cluster: err %v, want ErrBudget", err)
+	}
+
+	cfg.BudgetBytesPerPatient = 1 << 14
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	m := cl.Mem()
+	if m.ColdBytesPerPatient != patientStateBytes {
+		t.Errorf("cold bytes %d, want %d", m.ColdBytesPerPatient, patientStateBytes)
+	}
+	if m.WarmBytesPerPatient == 0 {
+		t.Error("warm tier enabled but WarmBytesPerPatient is 0")
+	}
+	if m.PlannedBytesPerPatient != m.ColdBytesPerPatient+m.WarmBytesPerPatient {
+		t.Errorf("planned %d != cold %d + warm %d",
+			m.PlannedBytesPerPatient, m.ColdBytesPerPatient, m.WarmBytesPerPatient)
+	}
+	if m.PlannedBytesPerPatient > cfg.BudgetBytesPerPatient {
+		t.Errorf("planned %d exceeds budget %d", m.PlannedBytesPerPatient, cfg.BudgetBytesPerPatient)
+	}
+	if m.HeapInuseBytes == 0 || m.Goroutines == 0 {
+		t.Error("Mem() did not sample the runtime")
+	}
+
+	// CarryWarm without a warm-started fleet is a configuration error,
+	// not silent dead weight.
+	bad := clusterCfg(4)
+	bad.Fleet.WarmStart = false
+	bad.CarryWarm = true
+	if _, err := NewCluster(bad); !errors.Is(err, ErrFleet) {
+		t.Fatalf("CarryWarm without WarmStart: err %v, want ErrFleet", err)
+	}
+}
+
+// TestClusterVerifyPatient exercises the drift detector both ways: a
+// healthy cluster verifies clean, and a corrupted cold-tier digest is
+// reported as ErrDrift.
+func TestClusterVerifyPatient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	cfg := clusterCfg(3)
+	cfg.Rounds = 2
+	cfg.SessionS = 2
+	cfg.CarryWarm = true
+	cl, _ := runCluster(t, cfg)
+	defer cl.Close()
+	for p := 0; p < 3; p++ {
+		if err := cl.VerifyPatient(p); err != nil {
+			t.Fatalf("healthy patient %d reported drift: %v", p, err)
+		}
+	}
+	cl.states[1].Digest ^= 1
+	if err := cl.VerifyPatient(1); !errors.Is(err, ErrDrift) {
+		t.Fatalf("corrupted digest: err %v, want ErrDrift", err)
+	}
+	if err := cl.VerifyPatient(99); !errors.Is(err, ErrFleet) {
+		t.Fatalf("out-of-range patient: err %v, want ErrFleet", err)
+	}
+}
+
+// TestFleetRigReuseHygiene pins rig-pooling hygiene directly: two
+// patients with adversarially different scenarios — different rhythm
+// class, noise mix, channel statistics and ARQ policy — run back to
+// back through ONE pooled rig, and each digest must equal the digest of
+// a fleet where that patient runs alone on a fresh rig. Any state
+// leaking across the rig Reset (warm coefficients, reassembler windows,
+// stream state) breaks the equality.
+func TestFleetRigReuseHygiene(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CS reconstruction sweep")
+	}
+	noisy := ecg.NoiseConfig{BaselineWander: 0.3, EMG: 0.12, Powerline: 0.08, MotionRate: 4, MotionAmp: 0.5}
+	af := ecg.RhythmConfig{Kind: ecg.RhythmAF, MeanHR: 110}
+	lossy := link.ChannelConfig{PGoodToBad: 0.3, PBadToGood: 0.2, LossBad: 0.7, LossGood: 0.05, PDuplicate: 0.05, PReorder: 0.05}
+	tinyARQ := link.ARQConfig{MaxRetries: 1}
+	scenario := func(p int) Scenario {
+		if p%2 == 1 {
+			return Scenario{Rhythm: &af, Noise: &noisy, Channel: &lossy, ARQ: &tinyARQ}
+		}
+		return Scenario{}
+	}
+
+	shared := fastCfg(2, 1) // one shard: both patients share one rig
+	shared.WarmStart = true
+	shared.SolverTol = 1e-3
+	shared.Scenario = scenario
+	res := runFleet(t, shared)
+
+	// Each patient alone: a fresh engine, a fresh rig, same scenario
+	// mapping (patient index preserved via the hook).
+	for p := 0; p < 2; p++ {
+		p := p
+		solo := fastCfg(1, 1)
+		solo.WarmStart = true
+		solo.SolverTol = 1e-3
+		solo.Seed = shared.Seed + int64(p)
+		// Same firmware image: the sensing-matrix seed is fleet-wide and
+		// must not shift with the base seed.
+		solo.Node = core.Config{Mode: core.ModeCS, CSRatio: 60, Seed: shared.Seed}
+		solo.Scenario = func(int) Scenario { return scenario(p) }
+		soloRes := runFleet(t, solo)
+		if got, want := res.Patients[p].Digest, soloRes.Patients[0].Digest; got != want {
+			t.Errorf("patient %d: pooled-rig digest %016x, fresh-rig %016x — rig state leaked",
+				p, got, want)
+		}
+	}
+	if res.Patients[0].Digest == res.Patients[1].Digest {
+		t.Error("adversarial scenarios produced identical digests — scenario hook inert")
+	}
+}

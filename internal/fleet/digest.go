@@ -15,6 +15,46 @@ import (
 // bit pattern, so equal digests certify bit-identical results, the
 // property the fleet guarantees across shard counts.
 
+// FNV-1a 64-bit parameters (identical to hash/fnv's New64a).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv64a is a resumable FNV-1a 64-bit hash: the entire hash state is
+// the running sum, so a patient's digest checkpoints as 8 bytes (the
+// PatientState.Digest field) and resumes bit-identically across
+// scheduling turns, checkpoint files and process restarts. It hashes
+// byte-for-byte identically to hash/fnv's New64a, which the flat
+// engine used historically — TestFNVMatchesStdlib pins the
+// equivalence.
+type fnv64a struct{ sum uint64 }
+
+// newFNV64a resumes a digest from a stored state (use fnvOffset64 for
+// a fresh hash).
+func newFNV64a(state uint64) *fnv64a { return &fnv64a{sum: state} }
+
+func (h *fnv64a) Write(p []byte) (int, error) {
+	s := h.sum
+	for _, b := range p {
+		s ^= uint64(b)
+		s *= fnvPrime64
+	}
+	h.sum = s
+	return len(p), nil
+}
+
+func (h *fnv64a) Sum64() uint64  { return h.sum }
+func (h *fnv64a) Reset()         { h.sum = fnvOffset64 }
+func (h *fnv64a) Size() int      { return 8 }
+func (h *fnv64a) BlockSize() int { return 1 }
+
+func (h *fnv64a) Sum(b []byte) []byte {
+	var out [8]byte
+	binary.BigEndian.PutUint64(out[:], h.sum)
+	return append(b, out[:]...)
+}
+
 func hashInt(h hash.Hash64, v int) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(int64(v)))

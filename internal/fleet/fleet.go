@@ -26,7 +26,6 @@ package fleet
 
 import (
 	"errors"
-	"hash/fnv"
 	"math"
 	"runtime"
 	"sync"
@@ -43,6 +42,14 @@ import (
 
 // ErrFleet is returned for invalid fleet configurations.
 var ErrFleet = errors.New("fleet: invalid configuration")
+
+// ErrBudget is returned by NewCluster when the planned per-patient
+// residency exceeds ClusterConfig.BudgetBytesPerPatient.
+var ErrBudget = errors.New("fleet: memory budget exceeded")
+
+// ErrDrift is returned by Cluster.VerifyPatient when a from-scratch
+// replay disagrees with the live cold-tier digest.
+var ErrDrift = errors.New("fleet: digest drift")
 
 // Config parameterises a fleet run.
 type Config struct {
@@ -103,6 +110,14 @@ type Config struct {
 	// blocks and the resulting events drained in one batch per block
 	// (default 1 s).
 	BlockS float64
+	// Scenario, when set, overrides the population-wide chain defaults
+	// per patient, so one fleet can model a heterogeneous cohort (AF
+	// cases, noisy ambulatory leads, congested radio cells). It MUST be
+	// a pure function of the patient index: it is consulted on every
+	// scheduling turn and again after a checkpoint restore, so any
+	// state- or time-dependence breaks the fleet's bit-identity
+	// invariant.
+	Scenario func(p int) Scenario
 	// Telemetry, when set, wires every layer's metric family into the
 	// run: node stage timings, link ARQ counters, gateway queue/latency
 	// and the per-patient fleet rollups — plus end-to-end window traces
@@ -137,6 +152,25 @@ func (c Config) withDefaults() Config {
 		out.BlockS = 1
 	}
 	return out
+}
+
+// Scenario is one patient's deviation from the population defaults.
+// Nil fields keep the fleet-wide setting; non-nil fields replace it
+// wholesale for that patient (Seed fields are still overridden per
+// patient, and a zero-transition channel is normalised to the lossless
+// chain exactly like the fleet default).
+type Scenario struct {
+	Rhythm  *ecg.RhythmConfig
+	Noise   *ecg.NoiseConfig
+	Channel *link.ChannelConfig
+	ARQ     *link.ARQConfig
+}
+
+func (e *Engine) scenarioFor(p int) Scenario {
+	if e.cfg.Scenario == nil {
+		return Scenario{}
+	}
+	return e.cfg.Scenario(p)
 }
 
 // PatientResult is one patient's end-to-end outcome.
@@ -323,13 +357,20 @@ func (e *Engine) Run() (*Result, error) {
 			defer wg.Done()
 			r, err := e.newRig(shard)
 			if err == nil {
+				var fb *telemetry.FleetBatch
+				if tel := c.Telemetry; tel != nil {
+					fb = tel.Fleet.NewBatch(shard)
+				}
 				for p := shard; p < c.Patients; p += c.Shards {
-					pr, perr := e.runPatient(r, p, shard)
+					pr, perr := e.runPatient(r, p, shard, fb)
 					if perr != nil {
 						err = perr
 						break
 					}
 					res.Patients[p] = pr
+					// Per-patient flush keeps the flat engine's metric
+					// freshness (a scraper never lags more than one patient).
+					fb.Flush()
 				}
 			}
 			if err != nil {
@@ -380,12 +421,42 @@ func (e *Engine) Run() (*Result, error) {
 	return res, nil
 }
 
-// runPatient simulates one patient on the shard's pooled rig.
-func (e *Engine) runPatient(r *rig, p, shard int) (PatientResult, error) {
+// runPatient simulates one patient on the shard's pooled rig: a fresh
+// cold state, one session covering the whole record, then the fold
+// into the flat-engine result shape.
+func (e *Engine) runPatient(r *rig, p, shard int, fb *telemetry.FleetBatch) (PatientResult, error) {
 	c := e.cfg
 	seed := c.Seed + int64(p)
-	pr := PatientResult{Patient: p, Seed: seed, Shard: shard, SimSeconds: c.DurationS}
-	rec := ecg.Generate(ecg.Config{Seed: seed, Duration: c.DurationS, Noise: c.Noise})
+	st := PatientState{Digest: fnvOffset64}
+	if err := e.runSession(r, &st, p, seed, c.DurationS, nil, fb); err != nil {
+		return PatientResult{Patient: p, Seed: seed, Shard: shard, SimSeconds: c.DurationS}, err
+	}
+	return st.result(p, seed, shard, c.DurationS), nil
+}
+
+// runSession replays durS seconds of patient p through a pooled rig and
+// folds the outcome into the patient's cold state. The digest resumes
+// from st.Digest — the entire FNV-1a hash state — so a multi-round
+// patient (Cluster scheduling slices, checkpoint restores) accumulates
+// the exact hash a single uninterrupted run would produce, and round 0
+// seeded with Seed+p reproduces the flat engine's digests bit for bit.
+//
+// warm, when non-nil, is the cold-tier snapshot store: the patient's
+// compact float32 coefficients are rehydrated into the rig's receiver
+// before the first window and captured back after the last. fb, when
+// non-nil, receives the session's telemetry rollups (flushed by the
+// caller, bounded fan-in).
+func (e *Engine) runSession(r *rig, st *PatientState, p int, seed int64, durS float64, warm *warmStore, fb *telemetry.FleetBatch) error {
+	c := e.cfg
+	sc := e.scenarioFor(p)
+	ecfg := ecg.Config{Seed: seed, Duration: durS, Noise: c.Noise}
+	if sc.Noise != nil {
+		ecfg.Noise = *sc.Noise
+	}
+	if sc.Rhythm != nil {
+		ecfg.Rhythm = *sc.Rhythm
+	}
+	rec := ecg.Generate(ecfg)
 
 	r.stream.Reset()
 	if r.tr != nil {
@@ -396,17 +467,27 @@ func (e *Engine) runPatient(r *rig, p, shard int) (PatientResult, error) {
 	var lk *link.Link
 	if r.rx != nil {
 		r.rx.Reset()
+		warm.restore(p, r.rx)
 		chCfg := c.Channel
+		if sc.Channel != nil {
+			chCfg = *sc.Channel
+			if chCfg.PBadToGood == 0 && chCfg.PGoodToBad == 0 {
+				chCfg.PBadToGood = 1 // same normalisation as the fleet default
+			}
+		}
 		chCfg.Seed = seed
 		ch, err := link.NewChannel(chCfg)
 		if err != nil {
-			return pr, err
+			return err
 		}
 		arq := c.ARQ
+		if sc.ARQ != nil {
+			arq = *sc.ARQ
+		}
 		arq.Seed = seed
 		lk, err = link.NewLink(arq, ch, r.rx)
 		if err != nil {
-			return pr, err
+			return err
 		}
 		if tel := c.Telemetry; tel != nil {
 			lk.SetTelemetry(tel.Link)
@@ -414,11 +495,12 @@ func (e *Engine) runPatient(r *rig, p, shard int) (PatientResult, error) {
 		lk.SetTrace(r.tr)
 	}
 
-	digest := fnv.New64a()
+	digest := newFNV64a(st.Digest)
 	var nodeBeats []delineation.BeatFiducials
-	consume := func(events []core.Event) error {
-		for _, ev := range events {
-			pr.Events++
+	var events int
+	consume := func(evs []core.Event) error {
+		for _, ev := range evs {
+			events++
 			hashEvent(digest, ev)
 			switch ev.Kind {
 			case core.EventPacket:
@@ -453,81 +535,86 @@ func (e *Engine) runPatient(r *rig, p, shard int) (PatientResult, error) {
 		for li := range rec.Leads {
 			r.block[li] = rec.Leads[li][at:end]
 		}
-		events, err := r.stream.PushBlock(r.block)
+		evs, err := r.stream.PushBlock(r.block)
 		if err != nil {
-			return pr, err
+			return err
 		}
-		if err := consume(events); err != nil {
-			return pr, err
+		if err := consume(evs); err != nil {
+			return err
 		}
 	}
-	events, err := r.stream.Flush()
+	evs, err := r.stream.Flush()
 	if err != nil {
-		return pr, err
+		return err
 	}
-	if err := consume(events); err != nil {
-		return pr, err
+	if err := consume(evs); err != nil {
+		return err
 	}
 
 	// Close the radio hop, score the remote reconstruction.
 	recovered := nodeBeats
+	var packets, delivered, lost int
+	var radioJ, idealJ float64
+	delivery := 1.0
 	if lk != nil {
 		if err := lk.Close(); err != nil {
-			return pr, err
+			return err
 		}
 		report := lk.Report()
-		pr.Packets = report.Packets
-		pr.Delivered = report.Delivered
-		pr.Lost = report.Lost
-		pr.DeliveryRatio = report.DeliveryRatio()
-		pr.RadioEnergyJ = report.EnergyJ
-		pr.IdealEnergyJ = report.IdealEnergyJ
+		packets, delivered, lost = report.Packets, report.Delivered, report.Lost
+		delivery = report.DeliveryRatio()
+		radioJ, idealJ = report.EnergyJ, report.IdealEnergyJ
 		for _, lead := range r.rx.Signal() {
 			hashFloats(digest, lead)
 		}
 		recovered, err = r.rx.Delineate()
 		if err != nil {
-			return pr, err
+			return err
 		}
-	} else {
-		pr.DeliveryRatio = 1
+		warm.capture(p, r.rx)
 	}
-	pr.Beats = len(recovered)
 	for _, b := range recovered {
 		hashBeat(digest, b)
 	}
+	var tp, fp, fn int
 	if len(rec.Beats) > 0 {
 		rep := delineation.Evaluate(rec, recovered, delineation.DefaultTolerances())
-		pr.Se = rep.R.Se()
-		pr.PPV = rep.R.PPV()
-	} else {
-		pr.Se, pr.PPV = math.NaN(), math.NaN()
+		tp, fp, fn = rep.R.TP, rep.R.FP, rep.R.FN
 	}
-	pr.Digest = digest.Sum64()
-	if tel := c.Telemetry; tel != nil {
-		fm := tel.Fleet
-		fm.PatientsDone.Inc()
-		fm.EventsTotal.Add(uint64(pr.Events))
-		fm.Shard(shard).Inc()
-		fm.DeliveryPermille.Observe(uint64(pr.DeliveryRatio*1000 + 0.5))
-		fm.PatientMicroJ.Observe(uint64(pr.RadioEnergyJ * 1e6))
-		fm.RadioEnergyJ.Add(pr.RadioEnergyJ)
-		if !math.IsNaN(pr.Se) {
-			fm.SePermille.Observe(uint64(pr.Se*1000 + 0.5))
+
+	st.Digest = digest.Sum64()
+	st.Events += uint32(events)
+	st.Packets += uint32(packets)
+	st.Delivered += uint32(delivered)
+	st.Lost += uint32(lost)
+	st.Beats += uint32(len(recovered))
+	st.TP += uint32(tp)
+	st.FP += uint32(fp)
+	st.FN += uint32(fn)
+	st.RadioEnergyJ += radioJ
+	st.IdealEnergyJ += idealJ
+	st.Rounds++
+
+	if fb != nil {
+		se, ppv := int64(-1), int64(-1)
+		if tp+fn > 0 {
+			se = int64(float64(tp)/float64(tp+fn)*1000 + 0.5)
 		}
-		if !math.IsNaN(pr.PPV) {
-			fm.PPVPermille.Observe(uint64(pr.PPV*1000 + 0.5))
+		if tp+fp > 0 {
+			ppv = int64(float64(tp)/float64(tp+fp)*1000 + 0.5)
 		}
 		// PRD (percent RMS difference, the CS literature's distortion
 		// metric) is derived here — a pure read of the already-final
 		// reconstruction — so the digest path never changes.
+		prd := int64(-1)
 		if lk != nil {
-			if prd := prdPercent(rec.Leads, r.rx.Signal()); !math.IsNaN(prd) {
-				fm.PRDCentiPct.Observe(uint64(prd*100 + 0.5))
+			if v := prdPercent(rec.Leads, r.rx.Signal()); !math.IsNaN(v) {
+				prd = int64(v*100 + 0.5)
 			}
 		}
+		fb.RecordPatient(uint64(events), radioJ, int64(delivery*1000+0.5), se, ppv, prd, int64(radioJ*1e6))
 	}
-	return pr, nil
+	return nil
 }
 
 // prdPercent computes the percent RMS difference between the original

@@ -248,6 +248,13 @@ func (r *Receiver) resetWarm() {
 // expects in every packet.
 func (r *Receiver) MeasurementLen() int { return r.m }
 
+// WarmState exposes the receiver's warm-start state (nil when WarmStart
+// is off) so a fleet scheduler can tier it: snapshot the coefficients
+// when the patient leaves this rig, rehydrate them when it returns.
+// Callers must only touch the state between packets — it is owned by
+// the decode path while a window is in flight.
+func (r *Receiver) WarmState() *cs.WarmState { return r.ws }
+
 // ConsumePacket reconstructs one window from the node's measurement
 // packet and appends it to the receiver-side signal. The packet must
 // match the configured encoder exactly — one vector per lead, each of

@@ -66,6 +66,23 @@ func (h *Histogram) Count() uint64 {
 	return h.count.Load()
 }
 
+// saturationBucket is the index of the final bucket, covering
+// [2^63, 2^64-1]. No honest measurement lands there — a nanosecond
+// duration of 2^63 is three centuries — so its occupancy flags a
+// corrupted observation (most commonly a negative int64 cast to
+// uint64). The soak watcher treats any saturated histogram as a
+// failure signal.
+const saturationBucket = histBuckets - 1
+
+// Saturated returns the number of observations that landed in the
+// overflow bucket (values ≥ 2^63).
+func (h *Histogram) Saturated() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.buckets[saturationBucket].Load()
+}
+
 // Bucket is one non-empty histogram bucket in a snapshot: Count values
 // were ≤ Le (and greater than the previous bucket's Le).
 type Bucket struct {
@@ -73,17 +90,20 @@ type Bucket struct {
 	Count uint64 `json:"count"`
 }
 
-// HistogramSnapshot is the read-side view of a histogram.
+// HistogramSnapshot is the read-side view of a histogram. Saturated is
+// the overflow-bucket count (observations ≥ 2^63): always rendered,
+// even at zero, so monitors can assert on its presence.
 type HistogramSnapshot struct {
-	Count   uint64   `json:"count"`
-	Sum     uint64   `json:"sum"`
-	Min     uint64   `json:"min"`
-	Max     uint64   `json:"max"`
-	Mean    float64  `json:"mean"`
-	P50     uint64   `json:"p50"`
-	P90     uint64   `json:"p90"`
-	P99     uint64   `json:"p99"`
-	Buckets []Bucket `json:"buckets,omitempty"`
+	Count     uint64   `json:"count"`
+	Sum       uint64   `json:"sum"`
+	Min       uint64   `json:"min"`
+	Max       uint64   `json:"max"`
+	Mean      float64  `json:"mean"`
+	P50       uint64   `json:"p50"`
+	P90       uint64   `json:"p90"`
+	P99       uint64   `json:"p99"`
+	Saturated uint64   `json:"saturated"`
+	Buckets   []Bucket `json:"buckets,omitempty"`
 }
 
 // Snapshot copies the histogram's current state.
@@ -108,6 +128,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			s.Buckets = append(s.Buckets, Bucket{Le: bucketUpper(i), Count: n})
 		}
 	}
+	s.Saturated = counts[saturationBucket]
 	s.P50 = quantile(counts[:], s.Count, 0.50, s.Min, s.Max)
 	s.P90 = quantile(counts[:], s.Count, 0.90, s.Min, s.Max)
 	s.P99 = quantile(counts[:], s.Count, 0.99, s.Min, s.Max)
@@ -123,6 +144,81 @@ func bucketUpper(i int) uint64 {
 		return ^uint64(0)
 	}
 	return 1<<uint(i) - 1
+}
+
+// HistogramBatch accumulates observations locally — plain fields, no
+// atomics — and folds them into a shared Histogram in one Flush. It is
+// the bounded fan-in path for population-scale loops: a million
+// per-patient observations from dozens of shard workers would otherwise
+// contend on the same few cachelines, so each worker batches locally
+// and flushes once per scheduling slice. The shared histogram's final
+// contents are identical to per-observation recording (counts, sum,
+// min/max and every bucket are additive); only the interleaving of the
+// atomic adds changes. Not safe for concurrent use — one batch per
+// worker.
+type HistogramBatch struct {
+	h       *Histogram
+	count   uint64
+	sum     uint64
+	min     uint64 // value+1, 0 = unset (same convention as Histogram)
+	max     uint64
+	buckets [histBuckets]uint64
+}
+
+// Batch returns a local accumulator that flushes into h. A nil
+// histogram yields a nil batch, whose methods are no-ops, so call sites
+// thread optional telemetry without branching.
+func (h *Histogram) Batch() *HistogramBatch {
+	if h == nil {
+		return nil
+	}
+	return &HistogramBatch{h: h}
+}
+
+// Observe records one value locally.
+func (b *HistogramBatch) Observe(v uint64) {
+	if b == nil {
+		return
+	}
+	b.count++
+	b.sum += v
+	b.buckets[bits.Len64(v)]++
+	if b.min == 0 || v+1 < b.min {
+		b.min = v + 1
+	}
+	if v > b.max {
+		b.max = v
+	}
+}
+
+// Flush folds the batch into the shared histogram and clears it for
+// reuse.
+func (b *HistogramBatch) Flush() {
+	if b == nil || b.count == 0 {
+		return
+	}
+	h := b.h
+	h.count.Add(b.count)
+	h.sum.Add(b.sum)
+	for i := range b.buckets {
+		if n := b.buckets[i]; n > 0 {
+			h.buckets[i].Add(n)
+			b.buckets[i] = 0
+		}
+	}
+	for {
+		m := h.min.Load()
+		if m != 0 && b.min >= m || h.min.CompareAndSwap(m, b.min) {
+			break
+		}
+	}
+	for {
+		m := h.max.Load()
+		if b.max <= m || h.max.CompareAndSwap(m, b.max) {
+			break
+		}
+	}
+	b.count, b.sum, b.min, b.max = 0, 0, 0, 0
 }
 
 // quantile estimates the q-quantile from the bucket counts: it walks to

@@ -18,6 +18,10 @@ type Registry struct {
 	gauges    map[string]*Gauge
 	hists     map[string]*Histogram
 	tracer    *Tracer
+	// collectors run at the start of every Snapshot, before the metric
+	// maps are read — the hook that lets lazily-sampled families
+	// (runtime.MemStats gauges) refresh exactly when a scraper looks.
+	collectors []func()
 }
 
 // NewRegistry builds an empty registry.
@@ -86,6 +90,16 @@ func (r *Registry) AttachTracer(t *Tracer) {
 	r.mu.Unlock()
 }
 
+// AddCollector registers a hook that runs before every Snapshot.
+// Collectors refresh pull-style metrics (runtime gauges) so scrapers
+// always read current values; they must be cheap and must not call
+// back into Snapshot.
+func (r *Registry) AddCollector(fn func()) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
 // GaugeSnapshot is the read-side view of a gauge.
 type GaugeSnapshot struct {
 	Value int64 `json:"value"`
@@ -109,6 +123,12 @@ const traceSnapshotSpans = 128
 
 // Snapshot copies the registry's current state.
 func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	collectors := r.collectors
+	r.mu.RUnlock()
+	for _, fn := range collectors {
+		fn()
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{

@@ -1,0 +1,58 @@
+package telemetry
+
+import "runtime"
+
+// RuntimeMetrics mirrors the process health figures a long-horizon soak
+// watches — heap residency, allocation churn and goroutine count — into
+// the ordinary gauge namespace, so the soak watcher reads leak signals
+// from the same /metrics endpoint as every domain metric instead of
+// scraping a second source. The gauges refresh through a registry
+// collector immediately before every snapshot; between snapshots they
+// hold the last collected values.
+type RuntimeMetrics struct {
+	// HeapInuse/HeapSys are runtime.MemStats.HeapInuse/HeapSys in bytes;
+	// HeapObjects the live object count; TotalAllocMB the cumulative
+	// allocation volume in MiB (monotonic — its growth rate is the churn
+	// signal); Goroutines the current goroutine count; GCCycles the
+	// completed GC count.
+	HeapInuse    *Gauge
+	HeapSys      *Gauge
+	HeapObjects  *Gauge
+	TotalAllocMB *Gauge
+	Goroutines   *Gauge
+	GCCycles     *Gauge
+}
+
+// NewRuntimeMetrics registers the runtime metric family (runtime.*) and
+// installs the snapshot-time collector that refreshes it.
+func NewRuntimeMetrics(reg *Registry) *RuntimeMetrics {
+	r := &RuntimeMetrics{
+		HeapInuse:    reg.Gauge("runtime.heap_inuse_bytes"),
+		HeapSys:      reg.Gauge("runtime.heap_sys_bytes"),
+		HeapObjects:  reg.Gauge("runtime.heap_objects"),
+		TotalAllocMB: reg.Gauge("runtime.total_alloc_mb"),
+		Goroutines:   reg.Gauge("runtime.goroutines"),
+		GCCycles:     reg.Gauge("runtime.gc_cycles"),
+	}
+	reg.AddCollector(r.Update)
+	r.Update()
+	return r
+}
+
+// Update reads runtime.ReadMemStats and refreshes the gauges. Called
+// automatically before every registry snapshot; callers may also invoke
+// it directly (ReadMemStats stops the world for microseconds, so it
+// must never sit on a per-event path).
+func (r *RuntimeMetrics) Update() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.HeapInuse.Set(int64(ms.HeapInuse))
+	r.HeapSys.Set(int64(ms.HeapSys))
+	r.HeapObjects.Set(int64(ms.HeapObjects))
+	r.TotalAllocMB.Set(int64(ms.TotalAlloc >> 20))
+	r.Goroutines.Set(int64(runtime.NumGoroutine()))
+	r.GCCycles.Set(int64(ms.NumGC))
+}

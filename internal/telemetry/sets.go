@@ -339,6 +339,92 @@ func NewFleetMetrics(reg *Registry) *FleetMetrics {
 	}
 }
 
+// FleetBatch is the bounded fan-in recorder for population-scale runs:
+// one batch per shard worker accumulates the per-patient rollups
+// locally and folds them into the shared FleetMetrics in one Flush per
+// scheduling slice. At a million patients the per-patient atomic
+// observes would serialize every worker through the same few
+// cachelines; batching keeps recording worker-local while the flushed
+// totals stay exactly equal to per-patient recording. Not safe for
+// concurrent use — one batch per worker.
+type FleetBatch struct {
+	fm       *FleetMetrics
+	shard    *Counter
+	patients uint64
+	events   uint64
+	radioJ   float64
+	delivery *HistogramBatch
+	se       *HistogramBatch
+	ppv      *HistogramBatch
+	prd      *HistogramBatch
+	microJ   *HistogramBatch
+}
+
+// NewBatch returns a local rollup batch for one shard worker. Nil-safe:
+// a nil FleetMetrics yields a nil batch whose methods are no-ops.
+func (f *FleetMetrics) NewBatch(shard int) *FleetBatch {
+	if f == nil {
+		return nil
+	}
+	return &FleetBatch{
+		fm:       f,
+		shard:    f.Shard(shard),
+		delivery: f.DeliveryPermille.Batch(),
+		se:       f.SePermille.Batch(),
+		ppv:      f.PPVPermille.Batch(),
+		prd:      f.PRDCentiPct.Batch(),
+		microJ:   f.PatientMicroJ.Batch(),
+	}
+}
+
+// RecordPatient accumulates one completed patient session. The ratio
+// arguments are pre-scaled integers (permille / centi-percent / µJ)
+// with negative values meaning "not applicable" (NaN score, no radio
+// hop).
+func (b *FleetBatch) RecordPatient(events uint64, radioJ float64, deliveryPermille, sePermille, ppvPermille, prdCentiPct, microJ int64) {
+	if b == nil {
+		return
+	}
+	b.patients++
+	b.events += events
+	b.radioJ += radioJ
+	if deliveryPermille >= 0 {
+		b.delivery.Observe(uint64(deliveryPermille))
+	}
+	if sePermille >= 0 {
+		b.se.Observe(uint64(sePermille))
+	}
+	if ppvPermille >= 0 {
+		b.ppv.Observe(uint64(ppvPermille))
+	}
+	if prdCentiPct >= 0 {
+		b.prd.Observe(uint64(prdCentiPct))
+	}
+	if microJ >= 0 {
+		b.microJ.Observe(uint64(microJ))
+	}
+}
+
+// Flush folds the batch into the shared fleet metrics and clears it for
+// reuse.
+func (b *FleetBatch) Flush() {
+	if b == nil || b.patients == 0 {
+		return
+	}
+	b.fm.PatientsDone.Add(b.patients)
+	b.fm.EventsTotal.Add(b.events)
+	b.shard.Add(b.patients)
+	if b.radioJ != 0 {
+		b.fm.RadioEnergyJ.Add(b.radioJ)
+	}
+	b.delivery.Flush()
+	b.se.Flush()
+	b.ppv.Flush()
+	b.prd.Flush()
+	b.microJ.Flush()
+	b.patients, b.events, b.radioJ = 0, 0, 0
+}
+
 // Shard returns shard i's completed-patients counter
 // (fleet.shard.<i>.patients), creating it on first use. Cold path: one
 // lookup per patient.
@@ -480,6 +566,9 @@ type Set struct {
 	Solver *SolverMetrics
 	Fleet  *FleetMetrics
 	NetGW  *NetGWMetrics
+	// Runtime mirrors process health (heap residency, goroutines) into
+	// /metrics; the gauges refresh on every snapshot.
+	Runtime *RuntimeMetrics
 	// Trace is the end-to-end window-trace collector (per-session span
 	// rings plus the recent/slowest exemplar stores) served by /traces.
 	Trace *trace.Collector
@@ -513,6 +602,7 @@ func NewSet(reg *Registry) *Set {
 		Solver:   gw.Solver,
 		Fleet:    NewFleetMetrics(reg),
 		NetGW:    NewNetGWMetrics(reg),
+		Runtime:  NewRuntimeMetrics(reg),
 		Trace:    trace.New(traceWindowRing, traceRecentTrees, traceSlowestN),
 	}
 }

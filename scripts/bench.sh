@@ -5,9 +5,12 @@
 #
 # Usage: scripts/bench.sh [benchtime] [output]
 #   benchtime defaults to 1s; pass e.g. "1x" for a smoke run.
-#   output defaults to BENCH_PR8.json (the current PR's capture); pass
+#   output defaults to BENCH_PR10.json (the current PR's capture); pass
 #   e.g. BENCH_PR3.json to regenerate an earlier PR's file with the
 #   same bench set.
+#
+# -benchmem is always on, so every capture carries B/op and allocs/op;
+# benchdiff diffs and threshold-gates them alongside ns/op.
 #
 # Compare two captures with: go run ./scripts/benchdiff OLD.json NEW.json
 #
@@ -20,12 +23,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT="${2:-BENCH_PR8.json}"
+OUT="${2:-BENCH_PR10.json}"
 TMP="$(mktemp "$OUT.tmp.XXXXXX")"
 trap 'rm -f "$TMP"' EXIT
 
 if ! go test -run '^$' \
-	-bench 'GatewayEndToEnd|GatewaySetup|ThroughputEngine|ReconstructParallel|FISTAReconstruct|FISTAWarmVsCold|FISTABatch|FleetShards|FleetStreamPush|TelemetryOverhead|ApplyTCSR|ApplyCSR|NetGatewayRecords' \
+	-bench 'GatewayEndToEnd|GatewaySetup|ThroughputEngine|ReconstructParallel|FISTAReconstruct|FISTAWarmVsCold|FISTABatch|FleetShards|FleetClusterRound|FleetCheckpoint|FleetStreamPush|TelemetryOverhead|ApplyTCSR|ApplyCSR|NetGatewayRecords' \
 	-benchtime "$BENCHTIME" -benchmem -json . ./internal/cs ./internal/netgw >"$TMP"; then
 	echo "bench.sh: go test -bench failed; $OUT left untouched" >&2
 	cat "$TMP" >&2

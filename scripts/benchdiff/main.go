@@ -1,16 +1,17 @@
 // Command benchdiff compares two benchmark captures produced by
 // scripts/bench.sh (go test -json event streams) and prints the
-// per-benchmark ns/op movement plus the throughput metrics the suite
-// reports (records/s, windows/s, patients/s).
+// per-benchmark ns/op, B/op and allocs/op movement plus the throughput
+// metrics the suite reports (records/s, windows/s, patients/s).
 //
 // Usage:
 //
 //	benchdiff [-threshold PCT] OLD.json NEW.json
 //
 // With -threshold the table is followed by a one-line PASS/REGRESSED
-// verdict per benchmark: REGRESSED when ns/op moved up by more than PCT
-// percent, PASS otherwise. The verdict lines make CI logs grep-able;
-// the exit status stays informational.
+// verdict per benchmark and metric: REGRESSED when ns/op, B/op or
+// allocs/op moved up by more than PCT percent, PASS otherwise — memory
+// regressions gate exactly like time regressions. The verdict lines
+// make CI logs grep-able; the exit status stays informational.
 //
 // The tool is informational: host noise on shared runners routinely
 // moves ns/op by ±30% run to run (BENCH_PR6.json re-measured PR5's
@@ -76,7 +77,7 @@ func main() {
 		}
 		fmt.Printf("%-60s %14s %14s %s\n",
 			name+" [ns/op]", formatNs(od.nsPerOp), formatNs(nw.nsPerOp), delta(od.nsPerOp, nw.nsPerOp))
-		for _, unit := range []string{"records/s", "windows/s", "patients/s", "allocs/op"} {
+		for _, unit := range []string{"records/s", "windows/s", "patients/s", "B/op", "allocs/op"} {
 			ov, okOld := od.metrics[unit]
 			nv, okNew := nw.metrics[unit]
 			if !okOld || !okNew {
@@ -91,25 +92,39 @@ func main() {
 		}
 	}
 	if *threshold > 0 {
-		fmt.Printf("\nthreshold %.1f%% (ns/op):\n", *threshold)
+		fmt.Printf("\nthreshold %.1f%% (ns/op, B/op, allocs/op):\n", *threshold)
 		regressed := 0
 		for _, name := range names {
 			od, ok := oldSet[name]
-			if !ok || od.nsPerOp == 0 {
+			if !ok {
 				continue
 			}
-			pct := 100 * (newSet[name].nsPerOp - od.nsPerOp) / od.nsPerOp
-			verdict := "PASS     "
-			if pct > *threshold {
-				verdict = "REGRESSED"
-				regressed++
+			nw := newSet[name]
+			checks := []struct {
+				unit     string
+				old, new float64
+			}{
+				{"ns/op", od.nsPerOp, nw.nsPerOp},
+				{"B/op", od.metrics["B/op"], nw.metrics["B/op"]},
+				{"allocs/op", od.metrics["allocs/op"], nw.metrics["allocs/op"]},
 			}
-			fmt.Printf("%s %-60s %+7.1f%%\n", verdict, name, pct)
+			for _, c := range checks {
+				if c.old == 0 {
+					continue
+				}
+				pct := 100 * (c.new - c.old) / c.old
+				verdict := "PASS     "
+				if pct > *threshold {
+					verdict = "REGRESSED"
+					regressed++
+				}
+				fmt.Printf("%s %-60s %-9s %+7.1f%%\n", verdict, name, c.unit, pct)
+			}
 		}
 		if regressed == 0 {
 			fmt.Println("all benchmarks within threshold")
 		} else {
-			fmt.Printf("%d benchmark(s) regressed beyond %.1f%%\n", regressed, *threshold)
+			fmt.Printf("%d metric(s) regressed beyond %.1f%%\n", regressed, *threshold)
 		}
 	}
 }
